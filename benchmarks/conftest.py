@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every benchmark module regenerates one of the paper's artifacts
+(DESIGN.md's experiment index) and
+
+* prints the reproduction table (visible with ``pytest -s``),
+* writes it under ``benchmarks/results/`` for EXPERIMENTS.md,
+* asserts the *shape* claims (who wins, growth exponents, round
+  guarantees) so regressions fail loudly,
+* times a representative operation via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a reproduction table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,95 @@
+"""Experiment E8 — benign fault models: no round increase (Section 1).
+
+Paper claim reproduced: "In more benign fault models like
+failure-by-omission and fail-stop there is a simple extension of our
+transformation that causes no increase in the number of rounds."  The
+benign variant runs in exactly ``t + 1`` rounds (``simul(r) = r``)
+under crash and omission faults while keeping per-message sizes
+polynomial (depth capped at ``k``).
+"""
+
+from repro.adversary.crash import CrashAdversary
+from repro.adversary.omission import OmissionAdversary
+from repro.analysis.report import format_table
+from repro.compact.crash_variant import crash_compact_factory, crash_sizer
+from repro.runtime.engine import run_protocol
+from repro.types import SystemConfig
+
+from conftest import publish
+
+ALPHABET = [0, 1, 2]
+
+
+def run_benign(config, inputs, adversary_maker, k, seed=0):
+    factory = crash_compact_factory(k=k, value_alphabet=ALPHABET, t=config.t)
+    return run_protocol(
+        factory,
+        config,
+        inputs,
+        adversary=adversary_maker(factory),
+        max_rounds=config.t + 2,
+        sizer=crash_sizer(config, len(ALPHABET)),
+        seed=seed,
+    )
+
+
+def test_benign_no_overhead(benchmark):
+    rows = []
+    for t in (1, 2, 3):
+        n = 3 * t + 1
+        config = SystemConfig(n=n, t=t)
+        inputs = {p: p % 3 for p in config.process_ids}
+        faulty = {i: i for i in range(1, t + 1)}  # crash i at round i
+
+        for k in (1, 2):
+            crash = run_benign(
+                config,
+                inputs,
+                lambda factory: CrashAdversary(faulty, factory, 0.5),
+                k=k,
+            )
+            omission = run_benign(
+                config,
+                inputs,
+                lambda factory: OmissionAdversary(
+                    list(faulty), factory, drop_probability=0.4
+                ),
+                k=k,
+                seed=5,
+            )
+            for label, result in (("crash", crash), ("omission", omission)):
+                assert result.rounds == t + 1, "round overhead appeared"
+                assert len(result.decided_values()) == 1
+                rows.append(
+                    {
+                        "model": label,
+                        "n": n,
+                        "t": t,
+                        "k": k,
+                        "rounds (paper: t+1)": result.rounds,
+                        "t+1": t + 1,
+                        "bits": result.metrics.total_bits,
+                    }
+                )
+
+    publish(
+        "benign",
+        format_table(rows, title="E8 — benign models: zero round overhead"),
+    )
+
+    config = SystemConfig(n=7, t=2)
+    inputs = {p: p % 3 for p in config.process_ids}
+    factory = crash_compact_factory(k=2, value_alphabet=ALPHABET, t=config.t)
+
+    def run_once():
+        # A fresh adversary per iteration: crash adversaries carry
+        # ghost-process state that must not leak across runs.
+        return run_protocol(
+            factory,
+            config,
+            inputs,
+            adversary=CrashAdversary({1: 1, 2: 2}, factory, 0.5),
+            max_rounds=config.t + 2,
+        )
+
+    benchmark(run_once)

@@ -1,0 +1,30 @@
+"""Experiment T1 — regenerate Table 1 (Section 5.1).
+
+Paper artifact: "Table 1: An Execution of 14 Rounds with k = 2" —
+``block / prior / phase / simul`` for rounds 1..14, reaching 8
+simulated rounds.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.rounds import BlockSchedule
+
+from conftest import publish
+
+EXPECTED_SIMUL = [1, 2, 2, 2, 3, 4, 4, 4, 5, 6, 6, 6, 7, 8]
+
+
+def test_table1(benchmark):
+    schedule = BlockSchedule(k=2)
+    rows = benchmark(schedule.table, 14)
+
+    assert [row["simul"] for row in rows] == EXPECTED_SIMUL
+    assert rows[-1]["simul"] == 8  # the caption's 8 simulated rounds
+
+    publish(
+        "table1",
+        format_table(
+            rows,
+            columns=["r", "block", "prior", "phase", "simul"],
+            title="Table 1 — 14 actual rounds, k = 2 (paper: 8 simulated rounds)",
+        ),
+    )

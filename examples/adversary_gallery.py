@@ -1,0 +1,87 @@
+"""A gallery of Byzantine strategies versus the compact protocol.
+
+The paper's proofs quantify over *all* faulty behaviours; this example
+makes that concrete by throwing every adversary in the library — from
+plain silence to full collusion with well-formed but mutually
+inconsistent messages — at one run of the compact Byzantine agreement
+protocol, and showing agreement and validity survive each of them.
+
+Run:  python examples/adversary_gallery.py
+"""
+
+from repro.adversary import (
+    CollusionAdversary,
+    EquivocatingAdversary,
+    MalformedArrayAdversary,
+    RandomGarbageAdversary,
+    SilentAdversary,
+    StrategyTable,
+    VoteSplitterAdversary,
+)
+from repro.analysis.report import format_table
+from repro.compact.byzantine_agreement import run_compact_byzantine_agreement
+from repro.types import SystemConfig
+
+
+def gallery(faulty):
+    return [
+        ("silent", SilentAdversary(faulty)),
+        ("random garbage", RandomGarbageAdversary(faulty)),
+        ("equivocator", EquivocatingAdversary(faulty, 0, 1)),
+        ("vote splitter", VoteSplitterAdversary(faulty)),
+        ("malformed arrays", MalformedArrayAdversary(faulty)),
+        ("collusion (mimicry)", CollusionAdversary(faulty)),
+        (
+            "mixed table",
+            StrategyTable(
+                {
+                    faulty[0]: VoteSplitterAdversary([]),
+                    faulty[1]: MalformedArrayAdversary([]),
+                }
+            ),
+        ),
+    ]
+
+
+def main() -> None:
+    config = SystemConfig(n=7, t=2)
+    inputs = {1: 1, 2: 0, 3: 1, 4: 0, 5: 1, 6: 0, 7: 1}
+    faulty = [3, 6]
+
+    rows = []
+    for name, adversary in gallery(faulty):
+        result = run_compact_byzantine_agreement(
+            config,
+            inputs,
+            value_alphabet=[0, 1],
+            k=1,
+            adversary=adversary,
+            seed=13,
+        )
+        decisions = sorted(result.decided_values())
+        rows.append(
+            {
+                "adversary": name,
+                "agreement": "yes" if len(decisions) == 1 else "NO!",
+                "decision": decisions[0] if len(decisions) == 1 else decisions,
+                "rounds": result.rounds,
+                "bits": result.metrics.total_bits,
+            }
+        )
+        assert len(decisions) == 1
+
+    print(
+        format_table(
+            rows,
+            title=(
+                "compact Byzantine agreement (n=7, t=2, k=1) vs the "
+                "adversary gallery — faulty = {3, 6}"
+            ),
+        )
+    )
+    print()
+    print("Agreement held against every strategy.")
+
+
+if __name__ == "__main__":
+    main()

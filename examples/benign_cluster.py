@@ -1,0 +1,77 @@
+"""Crash-tolerant configuration agreement with zero round overhead.
+
+A story-shaped demo of the benign-model variant (Section 1's claim):
+a 7-node cluster must agree on which configuration epoch to activate.
+Nodes only ever fail by crashing — possibly mid-broadcast, reaching
+just a prefix of their peers — so the compact protocol sheds both
+overhead rounds and decides in exactly ``t + 1`` rounds, the same as
+an uncompressed protocol, while keeping every message polynomial.
+
+Run:  python examples/benign_cluster.py
+"""
+
+from repro.adversary.crash import CrashAdversary
+from repro.adversary.omission import OmissionAdversary
+from repro.analysis.report import format_table
+from repro.compact.crash_variant import crash_compact_factory, crash_sizer
+from repro.runtime.engine import run_protocol
+from repro.types import SystemConfig
+
+EPOCHS = [40, 41, 42, 43]  # configuration epochs nodes might propose
+
+
+def main() -> None:
+    config = SystemConfig(n=7, t=2)
+    # Nodes disagree about the freshest epoch (a lagging replica
+    # proposes 40; most have 42; one already saw 43).
+    inputs = {1: 42, 2: 40, 3: 42, 4: 43, 5: 42, 6: 41, 7: 42}
+    factory = crash_compact_factory(k=2, value_alphabet=EPOCHS, t=config.t)
+
+    rows = []
+    scenarios = [
+        (
+            "node 2 crashes mid-broadcast in round 1, node 6 in round 2",
+            CrashAdversary({2: 1, 6: 2}, factory, cut_fraction=0.5),
+        ),
+        (
+            "nodes 3 and 7 drop 40% of their messages (omission)",
+            OmissionAdversary([3, 7], factory, drop_probability=0.4),
+        ),
+        (
+            "clean crash of node 4 before it ever speaks",
+            CrashAdversary({4: 1}, factory, cut_fraction=0.0),
+        ),
+    ]
+    for description, adversary in scenarios:
+        result = run_protocol(
+            factory,
+            config,
+            inputs,
+            adversary=adversary,
+            max_rounds=config.t + 2,
+            sizer=crash_sizer(config, len(EPOCHS)),
+            seed=21,
+        )
+        decision = sorted(result.decided_values())[0]
+        rows.append(
+            {
+                "scenario": description,
+                "decision": decision,
+                "rounds": result.rounds,
+                "t+1": config.t + 1,
+                "bits": result.metrics.total_bits,
+            }
+        )
+        assert result.rounds == config.t + 1
+
+    print(format_table(rows, title="benign-model compact agreement (n=7, t=2, k=2)"))
+    print()
+    print(
+        "Every scenario decided in exactly t + 1 = 3 rounds — the paper's\n"
+        "'no increase in the number of rounds' for benign fault models —\n"
+        "with compressed (depth-capped) messages throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Look inside one adversarial execution, round by round.
+
+Runs a small compact Byzantine agreement with a two-faced adversary
+and renders the full message matrix for every round, then the decision
+timeline — the view you want when studying how the CORE compresses,
+when avalanche batches fire, and what the adversary actually injected.
+
+Run:  python examples/inspect_execution.py
+"""
+
+from repro.adversary import EquivocatingAdversary
+from repro.compact.byzantine_agreement import run_compact_byzantine_agreement
+from repro.runtime.render import render_execution
+from repro.types import SystemConfig
+
+
+def main() -> None:
+    config = SystemConfig(n=4, t=1)
+    inputs = {1: 1, 2: 0, 3: 1, 4: 1}
+
+    result = run_compact_byzantine_agreement(
+        config,
+        inputs,
+        value_alphabet=[0, 1],
+        k=2,
+        adversary=EquivocatingAdversary([4], 0, 1),
+        record_trace=True,
+    )
+
+    print(
+        "compact Byzantine agreement, n=4 t=1 k=2; processor 4 is a\n"
+        "two-faced equivocator (marked 'x').  Cells summarise payload\n"
+        "shapes: 'core:…' is the compressed state, 'votes:…' counts\n"
+        "active avalanche batches.\n"
+    )
+    print(render_execution(result))
+    print()
+    print(f"total message bits (correct senders): {result.metrics.total_bits}")
+    print(
+        "\nReading guide: round 1 exchanges bare inputs; round 2 builds\n"
+        "depth-2 COREs; round 3 re-broadcasts the block's CORE; round 4\n"
+        "carries only avalanche votes (no main component); the decision\n"
+        "lands at the first progress round where t + 1 = 2 simulated\n"
+        "rounds are complete."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: communication-efficient Byzantine agreement.
+
+Runs Corollary 10's protocol — the compact full-information protocol
+driving the classic EIG decision rule — on a 7-processor system with 2
+Byzantine processors, and compares it with the exponential baseline it
+simulates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.adversary import EquivocatingAdversary
+from repro.agreement.eig_agreement import run_eig_agreement
+from repro.compact.byzantine_agreement import run_compact_byzantine_agreement
+from repro.types import SystemConfig
+
+
+def main() -> None:
+    # A system of n = 7 processors tolerating t = 2 Byzantine faults
+    # (the tight bound n = 3t + 1).
+    config = SystemConfig(n=7, t=2)
+
+    # Each processor starts with a binary input.
+    inputs = {1: 1, 2: 0, 3: 1, 4: 0, 5: 1, 6: 0, 7: 1}
+
+    # Processors 3 and 6 are Byzantine: they tell half the system "0"
+    # and the other half "1".
+    adversary = EquivocatingAdversary([3, 6], value_a=0, value_b=1)
+
+    print("=== compact protocol (Corollary 10), eps = 1 -> k = 2 ===")
+    result = run_compact_byzantine_agreement(
+        config,
+        inputs,
+        value_alphabet=[0, 1],
+        epsilon=1.0,
+        adversary=adversary,
+    )
+    for process_id in sorted(result.decisions):
+        print(
+            f"  processor {process_id}: decided "
+            f"{result.decisions[process_id]} in round "
+            f"{result.decision_rounds[process_id]}"
+        )
+    print(f"  rounds: {result.rounds}  (guarantee: (1+eps)(t+1) = 6)")
+    print(f"  message bits: {result.metrics.total_bits}")
+
+    print()
+    print("=== exponential baseline (Lamport et al.), t + 1 rounds ===")
+    baseline = run_eig_agreement(
+        config,
+        inputs,
+        [0, 1],
+        adversary=EquivocatingAdversary([3, 6], value_a=0, value_b=1),
+    )
+    print(f"  decisions: {sorted(set(baseline.decisions.values()))}")
+    print(f"  rounds: {baseline.rounds}")
+    print(f"  message bits: {baseline.metrics.total_bits}")
+
+    print()
+    print(
+        "Both decide identically; at this toy size the exponential\n"
+        "protocol is still cheap — run examples/epsilon_tradeoff.py to\n"
+        "see where the curves cross."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for editable installs on environments without the wheel package.
+
+All real metadata lives in pyproject.toml; this file only lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path when PEP 660 editable wheels are
+unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

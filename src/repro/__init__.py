@@ -1,0 +1,45 @@
+"""repro — reproduction of Coan (PODC 1986).
+
+A communication-efficient canonical form for fault-tolerant
+distributed protocols: transform any synchronous consensus protocol
+into one with polynomial communication, at a ``(1 + eps)`` round cost.
+
+Public API highlights
+---------------------
+
+* :func:`repro.core.transform.canonical_form` — the headline
+  transformation,
+* :func:`repro.compact.byzantine_agreement.run_compact_byzantine_agreement`
+  — Corollary 10's Byzantine agreement protocol, ready to run,
+* :mod:`repro.avalanche` — the avalanche agreement primitive,
+* :mod:`repro.agreement` — baseline protocols (exponential EIG,
+  phase king/queen, Srikanth–Toueg-style witnessed broadcast, Ben-Or,
+  Turpin–Coan, crusader, weak, approximate agreement),
+* :mod:`repro.runtime` / :mod:`repro.adversary` — the synchronous
+  round substrate and fault models everything runs on.
+"""
+
+from repro.types import BOTTOM, SystemConfig, is_bottom
+from repro.core.rounds import BlockSchedule, block, phase, prior, simul
+from repro.core.transform import CanonicalForm, canonical_form, full_information_form
+from repro.compact.byzantine_agreement import run_compact_byzantine_agreement
+from repro.runtime.engine import run_protocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOTTOM",
+    "SystemConfig",
+    "is_bottom",
+    "BlockSchedule",
+    "block",
+    "phase",
+    "prior",
+    "simul",
+    "CanonicalForm",
+    "canonical_form",
+    "full_information_form",
+    "run_compact_byzantine_agreement",
+    "run_protocol",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Fault models and adversary strategies.
+
+The paper's protocols are proved against a *Byzantine* adversary:
+failed processors send arbitrary messages, chosen with full knowledge
+of the system (the network hands each strategy a view of the round's
+correct traffic before the faulty messages are fixed — a rushing
+adversary).  More benign models (fail-stop, omission) are included
+because the paper's transformation specialises to them with no round
+overhead (Section 1).
+
+Strategies are deterministic given their seeded RNG, so any execution
+is replayable from ``(protocol, inputs, adversary, seed)``.
+"""
+
+from repro.adversary.base import Adversary, PassiveAdversary, RoundContext
+from repro.adversary.byzantine import (
+    CollusionAdversary,
+    EquivocatingAdversary,
+    MalformedArrayAdversary,
+    RandomGarbageAdversary,
+    SilentAdversary,
+    StrategyTable,
+    VoteSplitterAdversary,
+)
+from repro.adversary.crash import CrashAdversary
+from repro.adversary.omission import OmissionAdversary
+from repro.adversary.compact_attacks import (
+    AvalancheEquivocator,
+    ForgedIndexAdversary,
+    SpliceAdversary,
+    StaleCoreAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "PassiveAdversary",
+    "RoundContext",
+    "CollusionAdversary",
+    "EquivocatingAdversary",
+    "MalformedArrayAdversary",
+    "RandomGarbageAdversary",
+    "SilentAdversary",
+    "StrategyTable",
+    "VoteSplitterAdversary",
+    "CrashAdversary",
+    "OmissionAdversary",
+    "AvalancheEquivocator",
+    "ForgedIndexAdversary",
+    "SpliceAdversary",
+    "StaleCoreAdversary",
+]

@@ -1,0 +1,123 @@
+"""Fail-stop (crash) faults.
+
+A crashed processor follows its protocol faithfully until its crash
+round, during which it may reach only a prefix of the recipients of
+its final broadcast (the classic "crash mid-send" semantics), and is
+silent forever after.
+
+To "follow the protocol faithfully" the adversary runs a **ghost**
+instance of the real protocol for each faulty processor: it is built
+with the same factory as the correct processors, fed exactly the
+messages a real processor in its position would receive, and its
+``outgoing`` is what gets (partially) delivered.  This is the benign
+fault model in which the paper's transformation incurs no round
+overhead (Section 1), exercised by experiment E8.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.adversary.base import Adversary, RoundContext
+from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value
+
+# Builds a ghost process: (process_id, config, input_value) -> Process.
+GhostFactory = Callable[[ProcessId, SystemConfig, Value], Any]
+
+
+class CrashAdversary(Adversary):
+    """Runs real protocol logic for faulty ids, crashing them on cue.
+
+    Parameters
+    ----------
+    crash_rounds:
+        Map from faulty processor id to the round in which it crashes.
+        In that round the processor's messages reach only recipients
+        with ids up to a cut point; afterwards it is silent.
+    factory:
+        The same process factory handed to the engine, used to build
+        ghost instances.
+    cut_fraction:
+        Fraction (0..1) of recipients, in id order, reached during the
+        crash round.  0 means a clean crash before sending; 1 means the
+        crash lands after a complete broadcast.
+    """
+
+    def __init__(
+        self,
+        crash_rounds: Mapping[ProcessId, Round],
+        factory: GhostFactory,
+        cut_fraction: float = 0.5,
+    ):
+        super().__init__(crash_rounds.keys())
+        if not 0.0 <= cut_fraction <= 1.0:
+            raise ValueError(f"cut_fraction must be in [0, 1], got {cut_fraction}")
+        self.crash_rounds = dict(crash_rounds)
+        self._factory = factory
+        self._cut_fraction = cut_fraction
+        self._ghosts: Optional[Dict[ProcessId, Any]] = None
+        self._ghost_outgoing: Dict[ProcessId, Dict[ProcessId, Any]] = {}
+
+    # -- ghost management --------------------------------------------------
+
+    def _ensure_ghosts(self, context: RoundContext) -> Dict[ProcessId, Any]:
+        if self._ghosts is None:
+            self._ghosts = {
+                process_id: self._factory(
+                    process_id, self.config, context.inputs[process_id]
+                )
+                for process_id in sorted(self.faulty_ids)
+            }
+        return self._ghosts
+
+    def ghost(self, process_id: ProcessId) -> Any:
+        """The ghost process object (for tests), or ``None`` pre-start."""
+        if self._ghosts is None:
+            return None
+        return self._ghosts.get(process_id)
+
+    # -- adversary interface -----------------------------------------------
+
+    def outgoing(
+        self, round_number: Round, sender: ProcessId, context: RoundContext
+    ) -> Dict[ProcessId, Any]:
+        ghosts = self._ensure_ghosts(context)
+        crash_round = self.crash_rounds[sender]
+        if round_number > crash_round:
+            self._ghost_outgoing[sender] = {}
+            return {}
+        full = dict(ghosts[sender].outgoing(round_number))
+        self._ghost_outgoing[sender] = full
+        if round_number < crash_round:
+            return full
+        # Crash round: deliver to an id-ordered prefix of recipients.
+        recipients = sorted(full)
+        cut = int(round(len(recipients) * self._cut_fraction))
+        return {receiver: full[receiver] for receiver in recipients[:cut]}
+
+    def observe_round(
+        self,
+        round_number: Round,
+        context: RoundContext,
+        faulty_outgoing: Mapping[ProcessId, Mapping[ProcessId, Any]],
+    ) -> None:
+        """Feed each still-running ghost its incoming messages.
+
+        A ghost's view combines correct traffic (from the context) and
+        the *intended* messages of fellow faulty processors (a crashed
+        peer that cut its broadcast reaches ghosts per the same cut).
+        """
+        if self._ghosts is None:
+            return
+        for process_id, ghost in self._ghosts.items():
+            if round_number > self.crash_rounds[process_id]:
+                continue  # crashed ghosts no longer take steps
+            incoming: Dict[ProcessId, Any] = {}
+            for sender in self.config.process_ids:
+                if sender in self.faulty_ids:
+                    incoming[sender] = faulty_outgoing.get(sender, {}).get(
+                        process_id, BOTTOM
+                    )
+                else:
+                    incoming[sender] = context.correct_message(sender, process_id)
+            ghost.receive(round_number, incoming)

@@ -1,0 +1,185 @@
+"""The Byzantine firing squad problem (named in the paper's intro).
+
+Processors receive external GO stimuli at arbitrary (possibly
+different, possibly no) rounds; correct processors must eventually
+**fire**, and must do so *simultaneously*:
+
+* **simultaneity** — all correct processors fire in the same round;
+* **safety** — if no correct processor ever receives GO, no correct
+  processor fires;
+* **liveness** — if every correct processor receives GO by round
+  ``r``, all fire by round ``r + t + 1``.
+
+**Construction** (the staggered-instances reduction of Burns–Lynch):
+starting at every round ``r``, all processors run one fresh instance
+of a *simultaneous-decision* Byzantine agreement protocol — here the
+``t + 1``-round EIG protocol, whose correct processors all decide in
+the same round — with input "have I received GO by round ``r``?".
+Instance start rounds are common knowledge (every round has one), so
+no agreement about starting is needed; everyone fires at the decision
+round of the earliest instance that decides 1.
+
+The conditions follow from Byzantine agreement's own: agreement makes
+the firing instance common; EIG's fixed decision round makes firing
+simultaneous; validity gives safety (all-0 inputs decide 0) and
+liveness (the instance of the first round where every correct
+processor has GO decides 1 by validity... decided value 1 requires at
+least one correct GO — see :meth:`FiringSquadProcess._decide_fire` —
+so a fire implies a stimulus, and unanimous GO forces one).
+
+Cost: at most ``t + 2`` concurrent instances matter before the first
+possible fire; we cap concurrency at ``t + 2`` live instances and
+retire decided ones, keeping each round's traffic bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.arrays.value_array import validate_array
+from repro.errors import ConfigurationError
+from repro.fullinfo.decision import eig_byzantine_decision
+from repro.runtime.node import Process, broadcast
+from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value, is_bottom
+
+
+class _AgreementInstance:
+    """One staggered EIG agreement instance, binary, simultaneous."""
+
+    def __init__(self, config: SystemConfig, start_round: Round, my_input: int):
+        self.config = config
+        self.start_round = start_round
+        self.state: Any = my_input
+        self.rounds_done = 0
+        self.decision: Optional[int] = None
+
+    def outgoing(self) -> Any:
+        return self.state
+
+    def receive(self, messages: Dict[ProcessId, Any]) -> None:
+        expected_depth = self.rounds_done
+        components = []
+        for sender in self.config.process_ids:
+            message = messages.get(sender, BOTTOM)
+            if is_bottom(message) or not validate_array(
+                message,
+                self.config.n,
+                depth=expected_depth,
+                leaf_ok=lambda leaf: leaf in (0, 1),
+            ):
+                message = self.state
+            components.append(message)
+        self.state = tuple(components)
+        self.rounds_done += 1
+        if self.rounds_done == self.config.t + 1:
+            self.decision = eig_byzantine_decision(
+                self.state,
+                self.config.n,
+                self.config.t,
+                process_id=0,
+                default=0,
+                alphabet=[0, 1],
+            )
+
+
+class FiringSquadProcess(Process):
+    """One processor of the Byzantine firing squad.
+
+    The input value is the round at which this processor's external GO
+    arrives (:data:`BOTTOM` for "never").  "Firing" is modelled as the
+    irrevocable decision ``"FIRE"``.
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        input_value: Value,
+    ):
+        super().__init__(process_id, config)
+        if not config.requires_byzantine_quorum():
+            raise ConfigurationError(
+                f"firing squad needs n >= 3t+1; got n={config.n}, t={config.t}"
+            )
+        if not (is_bottom(input_value) or (
+            isinstance(input_value, int)
+            and not isinstance(input_value, bool)
+            and input_value >= 1
+        )):
+            raise ConfigurationError(
+                f"input must be a GO round >= 1 or BOTTOM, got {input_value!r}"
+            )
+        self.go_round = input_value
+        self._instances: Dict[Round, _AgreementInstance] = {}
+
+    # -- stimuli ---------------------------------------------------------
+
+    def _go_received_by(self, round_number: Round) -> bool:
+        return not is_bottom(self.go_round) and self.go_round <= round_number
+
+    # -- round structure -----------------------------------------------------
+
+    def outgoing(self, round_number: Round) -> Dict[ProcessId, Any]:
+        # Open this round's instance (its first send happens now).
+        self._instances[round_number] = _AgreementInstance(
+            self.config,
+            start_round=round_number,
+            my_input=1 if self._go_received_by(round_number) else 0,
+        )
+        payload = {
+            start: instance.outgoing()
+            for start, instance in self._instances.items()
+        }
+        return broadcast(payload, self.config)
+
+    def receive(self, round_number: Round, incoming: Dict[ProcessId, Any]) -> None:
+        for start in sorted(self._instances):
+            instance = self._instances[start]
+            messages = {}
+            for sender in self.config.process_ids:
+                payload = incoming.get(sender, BOTTOM)
+                if isinstance(payload, dict):
+                    messages[sender] = payload.get(start, BOTTOM)
+                else:
+                    messages[sender] = BOTTOM
+            instance.receive(messages)
+        self._decide_fire(round_number)
+        # Retire decided instances; once fired, everything can go.
+        for start in list(self._instances):
+            if self._instances[start].decision is not None:
+                del self._instances[start]
+        if self.has_decided():
+            self._instances.clear()
+
+    def _decide_fire(self, round_number: Round) -> None:
+        if self.has_decided():
+            return
+        for start in sorted(self._instances):
+            instance = self._instances[start]
+            if instance.decision == 1:
+                self.decide("FIRE", round_number)
+                return
+
+    def snapshot(self) -> Any:
+        return {
+            "go_round": self.go_round,
+            "live_instances": sorted(self._instances),
+            "decision": self.decision,
+        }
+
+
+def firing_squad_factory():
+    """A run_protocol factory for the Byzantine firing squad."""
+
+    def factory(
+        process_id: ProcessId, config: SystemConfig, input_value: Value
+    ) -> FiringSquadProcess:
+        return FiringSquadProcess(process_id, config, input_value)
+
+    return factory
+
+
+def fire_deadline(go_round: Round, t: int) -> Round:
+    """Latest firing round when all correct GOs arrive by ``go_round``:
+    that round's instance decides after its ``t + 1`` exchanges."""
+    return go_round + t + 1 - 1  # instance at r finishes at r + t

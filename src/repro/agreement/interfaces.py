@@ -1,0 +1,180 @@
+"""A catalog of the library's agreement protocols.
+
+One registry with uniform metadata — resilience requirement, round
+bound, factory builder — so tools can enumerate protocols instead of
+hard-coding them: the conformance sweep in
+``tests/integration/test_catalog.py`` runs *every* catalogued protocol
+against the full adversary gallery, and new protocols get that
+coverage by registering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+from repro.types import SystemConfig, Value
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolEntry:
+    """Metadata and constructor for one agreement protocol.
+
+    ``build(config, alphabet, seed)`` returns a run_protocol factory;
+    ``rounds(t)`` the decision-round bound (``None`` if randomized);
+    ``supports(config)`` the resilience requirement; ``binary_only``
+    marks protocols restricted to ``{0, 1}`` inputs.
+    """
+
+    name: str
+    build: Callable[[SystemConfig, Sequence[Value], int], Callable]
+    rounds: Callable[[int], Optional[int]]
+    supports: Callable[[SystemConfig], bool]
+    binary_only: bool = False
+    randomized: bool = False
+    notes: str = ""
+
+
+def catalog() -> List[ProtocolEntry]:
+    """All deterministic-interface agreement protocols, one entry each."""
+    from repro.agreement.ben_or import ben_or_factory
+    from repro.agreement.dolev_strong import (
+        dolev_strong_factory,
+        dolev_strong_rounds,
+    )
+    from repro.agreement.eig_agreement import eig_agreement_factory
+    from repro.agreement.phase_king import (
+        phase_king_factory,
+        phase_king_rounds,
+        phase_queen_factory,
+        phase_queen_rounds,
+    )
+    from repro.agreement.srikanth_toueg import (
+        st_agreement_factory,
+        st_agreement_rounds,
+    )
+    from repro.compact.byzantine_agreement import (
+        compact_ba_factory,
+        compact_ba_rounds,
+    )
+    from repro.compact.lazy_decision import lazy_compact_ba_factory
+    from repro.runtime.crypto import SignatureOracle
+
+    def default_of(alphabet: Sequence[Value]) -> Value:
+        return sorted(alphabet, key=repr)[0]
+
+    def _auth_compact(config, alphabet):
+        from repro.compact.authenticated_variant import (
+            auth_compact_ba_factory,
+        )
+
+        return auth_compact_ba_factory(
+            config, alphabet, SignatureOracle(), k=1,
+            default=default_of(alphabet),
+        )
+
+    return [
+        ProtocolEntry(
+            name="exponential EIG",
+            build=lambda config, alphabet, seed: eig_agreement_factory(
+                config, alphabet, default=default_of(alphabet)
+            ),
+            rounds=lambda t: t + 1,
+            supports=lambda config: config.requires_byzantine_quorum(),
+            notes="Lamport et al. [13]: optimal rounds, exponential bits",
+        ),
+        ProtocolEntry(
+            name="compact BA (k=1)",
+            build=lambda config, alphabet, seed: compact_ba_factory(
+                config, alphabet, default=default_of(alphabet), k=1
+            ),
+            rounds=lambda t: compact_ba_rounds(t, 1),
+            supports=lambda config: config.requires_byzantine_quorum(),
+            notes="Corollary 10 with the smallest messages",
+        ),
+        ProtocolEntry(
+            name="compact BA (k=2)",
+            build=lambda config, alphabet, seed: compact_ba_factory(
+                config, alphabet, default=default_of(alphabet), k=2
+            ),
+            rounds=lambda t: compact_ba_rounds(t, 2),
+            supports=lambda config: config.requires_byzantine_quorum(),
+            notes="Corollary 10 at eps = 1",
+        ),
+        ProtocolEntry(
+            name="compact BA (lazy, k=1)",
+            build=lambda config, alphabet, seed: lazy_compact_ba_factory(
+                alphabet, default=default_of(alphabet), k=1
+            ),
+            rounds=lambda t: compact_ba_rounds(t, 1),
+            supports=lambda config: config.requires_byzantine_quorum(),
+            notes="polynomial-space decision path",
+        ),
+        ProtocolEntry(
+            name="compact BA (fast, k=1)",
+            build=lambda config, alphabet, seed: compact_ba_factory(
+                config, alphabet, default=default_of(alphabet), k=1,
+                overhead=1,
+            ),
+            rounds=lambda t: compact_ba_rounds(t, 1, overhead=1),
+            supports=lambda config: config.requires_fast_quorum(),
+            notes="Section 5.6 variant, blocks of k + 1",
+        ),
+        ProtocolEntry(
+            name="Srikanth-Toueg style",
+            build=lambda config, alphabet, seed: st_agreement_factory(
+                default=default_of(alphabet)
+            ),
+            rounds=lambda t: st_agreement_rounds(t),
+            supports=lambda config: config.requires_byzantine_quorum(),
+            notes="witnessed broadcasts, no signatures",
+        ),
+        ProtocolEntry(
+            name="Phase King",
+            build=lambda config, alphabet, seed: phase_king_factory(),
+            rounds=lambda t: phase_king_rounds(t),
+            supports=lambda config: config.requires_byzantine_quorum(),
+            binary_only=True,
+        ),
+        ProtocolEntry(
+            name="Phase Queen",
+            build=lambda config, alphabet, seed: phase_queen_factory(),
+            rounds=lambda t: phase_queen_rounds(t),
+            supports=lambda config: config.requires_fast_quorum(),
+            binary_only=True,
+        ),
+        ProtocolEntry(
+            name="Ben-Or",
+            build=lambda config, alphabet, seed: ben_or_factory(seed=seed),
+            rounds=lambda t: None,
+            supports=lambda config: config.requires_byzantine_quorum(),
+            binary_only=True,
+            randomized=True,
+        ),
+        ProtocolEntry(
+            name="compact BA (authenticated, k=1)",
+            build=lambda config, alphabet, seed: _auth_compact(
+                config, alphabet
+            ),
+            rounds=lambda t: t + 1,
+            supports=lambda config: config.requires_byzantine_quorum(),
+            notes="authenticated model: zero overhead rounds; gallery "
+            "strategies cannot sign, signing attacks are tested in "
+            "tests/compact/test_authenticated_variant.py",
+        ),
+        ProtocolEntry(
+            name="Dolev-Strong (authenticated)",
+            build=lambda config, alphabet, seed: dolev_strong_factory(
+                SignatureOracle(), default=default_of(alphabet)
+            ),
+            rounds=lambda t: dolev_strong_rounds(t),
+            supports=lambda config: config.n >= 2 * config.t + 1,
+            notes="fault-free and silent faults only under the generic "
+            "adversary makers (other strategies need oracle wiring)",
+        ),
+    ]
+
+
+def entries_supporting(config: SystemConfig) -> List[ProtocolEntry]:
+    """Catalog entries runnable at ``config``."""
+    return [entry for entry in catalog() if entry.supports(config)]

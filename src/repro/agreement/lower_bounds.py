@@ -1,0 +1,40 @@
+"""Known lower bounds the paper measures itself against.
+
+* ``t + 1`` rounds for deterministic Byzantine agreement (Fischer and
+  Lynch [10]) — the bound Corollary 10 approaches within a factor
+  arbitrarily close to 1,
+* ``3t + 1`` processors for Byzantine agreement and for avalanche
+  agreement (Section 4: "straightforward to use standard techniques
+  like those of Fischer, Lynch, and Merritt [11]"),
+* ``4t + 1`` processors for the one-round-consensus avalanche variant
+  (Section 4: "if ``n <= 4t`` there is no solution to this variant").
+
+These are formulas, not proofs; the tests use them to assert every
+protocol in the library sits on the correct side of each bound, and
+the benchmarks plot protocols against them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def min_rounds_for_agreement(t: int) -> int:
+    """Fischer–Lynch: ``t + 1`` rounds in the worst case."""
+    if t < 0:
+        raise ConfigurationError(f"t must be non-negative, got {t}")
+    return t + 1
+
+
+def min_processors_for_agreement(t: int) -> int:
+    """Pease–Shostak–Lamport / Fischer–Lynch–Merritt: ``3t + 1``."""
+    if t < 0:
+        raise ConfigurationError(f"t must be non-negative, got {t}")
+    return 3 * t + 1
+
+
+def min_processors_for_fast_avalanche(t: int) -> int:
+    """Section 4's variant bound: ``4t + 1``."""
+    if t < 0:
+        raise ConfigurationError(f"t must be non-negative, got {t}")
+    return 4 * t + 1

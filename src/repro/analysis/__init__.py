@@ -1,0 +1,39 @@
+"""Analytic cost models and the Section 5.6 comparison machinery.
+
+* :mod:`repro.analysis.complexity` — closed-form message-bit models
+  for the exponential baseline, the compact protocol (Corollary 10)
+  and the Srikanth–Toueg comparator,
+* :mod:`repro.analysis.tradeoff` — the ``eps <-> k`` time/communication
+  tradeoff,
+* :mod:`repro.analysis.compare` — builds the Section 5.6 comparison
+  table, analytic and (optionally) measured,
+* :mod:`repro.analysis.report` — plain-text table rendering shared by
+  the benchmarks and EXPERIMENTS.md.
+"""
+
+from repro.analysis.complexity import (
+    compact_bits_estimate,
+    eig_total_bits,
+    full_information_message_bits,
+    st_bits_estimate,
+)
+from repro.analysis.tradeoff import (
+    achieved_round_factor,
+    epsilon_table,
+    message_size_exponent,
+)
+from repro.analysis.compare import comparison_table, measured_comparison
+from repro.analysis.report import format_table
+
+__all__ = [
+    "compact_bits_estimate",
+    "eig_total_bits",
+    "full_information_message_bits",
+    "st_bits_estimate",
+    "achieved_round_factor",
+    "epsilon_table",
+    "message_size_exponent",
+    "comparison_table",
+    "measured_comparison",
+    "format_table",
+]

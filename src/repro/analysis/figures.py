@@ -1,0 +1,119 @@
+"""Terminal-friendly charts for the reproduction's figures.
+
+The paper has no graphical figures, but its central quantitative story
+— exponential versus polynomial communication growth and where the
+curves cross — is naturally a plot.  :func:`ascii_chart` renders
+multi-series data as monospace text so the benches, CLI and
+EXPERIMENTS.md can show the shape without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+Point = Tuple[float, float]
+
+# Series markers, assigned in insertion order.
+_MARKERS = "*o+x#@%"
+
+
+def _transform(value: float, log_scale: bool) -> float:
+    if not log_scale:
+        return value
+    if value <= 0:
+        raise ConfigurationError(
+            f"log-scale chart requires positive values, got {value}"
+        )
+    return math.log10(value)
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Point]],
+    width: int = 60,
+    height: int = 18,
+    log_y: bool = True,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as a monospace chart.
+
+    ``log_y`` plots ``log10(y)`` (the right scale for exponential-vs-
+    polynomial comparisons); axis ticks show the raw values.
+    """
+    if not series or all(not points for points in series.values()):
+        raise ConfigurationError("ascii_chart needs at least one point")
+
+    all_points = [point for points in series.values() for point in points]
+    xs = [point[0] for point in all_points]
+    ys = [_transform(point[1], log_y) for point in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, marker: str) -> None:
+        column = round((x - x_low) / x_span * (width - 1))
+        row = round((y - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    legend = []
+    for index, (label, points) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {label}")
+        for x, y in points:
+            plot(x, _transform(y, log_y), marker)
+
+    def y_tick(row: int) -> str:
+        fraction = (height - 1 - row) / (height - 1)
+        raw = y_low + fraction * y_span
+        value = 10**raw if log_y else raw
+        if value >= 1000 or (0 < value < 0.01):
+            return f"{value:9.2e}"
+        return f"{value:9.2f}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(legend))
+    scale_note = f"{y_label} (log scale)" if log_y else y_label
+    lines.append(scale_note)
+    for row in range(height):
+        tick = y_tick(row) if row % 4 == 0 or row == height - 1 else " " * 9
+        lines.append(f"{tick} |{''.join(grid[row])}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    left = f"{x_low:g}"
+    right = f"{x_high:g}"
+    padding = width - len(left) - len(right)
+    lines.append(
+        " " * 10 + left + " " * max(1, padding) + right
+    )
+    lines.append(" " * 10 + x_label)
+    return "\n".join(lines)
+
+
+def crossover_chart(max_t: int = 8, k: int = 1) -> str:
+    """The reproduction's headline figure: bits vs t, both protocols."""
+    from repro.analysis.complexity import compact_bits_estimate, eig_total_bits
+
+    eig_points = [
+        (t, float(eig_total_bits(3 * t + 1, t, 2))) for t in range(1, max_t + 1)
+    ]
+    compact_points = [
+        (t, compact_bits_estimate(3 * t + 1, t, k, 2))
+        for t in range(1, max_t + 1)
+    ]
+    return ascii_chart(
+        {
+            "exponential EIG (exact model)": eig_points,
+            f"compact k={k} (paper O-bound, c=1)": compact_points,
+        },
+        title="Figure R1 — total message bits vs t (n = 3t + 1)",
+        x_label="t (fault tolerance)",
+        y_label="message bits",
+    )

@@ -1,0 +1,45 @@
+"""Plain-text tables for benchmarks and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        if abs(value) >= 1e6 or (0 < abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned monospace table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table: List[List[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        table.append([_format_cell(row.get(column, "")) for column in columns])
+    widths = [
+        max(len(table_row[index]) for table_row in table)
+        for index in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = table
+    lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for table_row in body:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(table_row, widths))
+        )
+    return "\n".join(lines)

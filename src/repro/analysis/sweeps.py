@@ -1,0 +1,154 @@
+"""Execution sweeps: run a protocol across a grid of scenarios.
+
+Experiments and users keep writing the same triple loop — input
+patterns x fault placements x adversary strategies x seeds — and then
+evaluating a correctness predicate on every outcome.  This module is
+that loop as a library, with structured results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.adversary.base import Adversary
+from repro.core.predicates import CorrectnessPredicate
+from repro.runtime.engine import ExecutionResult, ProcessFactory, run_protocol
+from repro.types import ProcessId, SystemConfig, Value
+
+# Builds a fresh adversary for a fault set: (faulty_ids) -> Adversary.
+AdversaryMaker = Callable[[Sequence[ProcessId]], Adversary]
+
+
+@dataclasses.dataclass
+class SweepOutcome:
+    """One cell of the sweep grid."""
+
+    inputs: Dict[ProcessId, Value]
+    faulty: Tuple[ProcessId, ...]
+    adversary_name: str
+    seed: int
+    result: ExecutionResult
+    predicate_holds: Optional[bool]
+
+    def describe(self) -> str:
+        status = (
+            "?" if self.predicate_holds is None
+            else ("ok" if self.predicate_holds else "VIOLATION")
+        )
+        return (
+            f"[{status}] faulty={list(self.faulty)} "
+            f"adversary={self.adversary_name} seed={self.seed} "
+            f"decisions={sorted(map(repr, self.result.decided_values()))}"
+        )
+
+
+@dataclasses.dataclass
+class SweepReport:
+    """Aggregate over all cells."""
+
+    outcomes: List[SweepOutcome]
+
+    @property
+    def executions(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def violations(self) -> List[SweepOutcome]:
+        return [
+            outcome
+            for outcome in self.outcomes
+            if outcome.predicate_holds is False
+        ]
+
+    def all_hold(self) -> bool:
+        """Whether the predicate held on every execution."""
+        return not self.violations
+
+    def total_bits(self) -> int:
+        return sum(o.result.metrics.total_bits for o in self.outcomes)
+
+    def max_rounds(self) -> int:
+        return max((o.result.rounds for o in self.outcomes), default=0)
+
+
+def sweep(
+    factory: ProcessFactory,
+    config: SystemConfig,
+    input_patterns: Iterable[Dict[ProcessId, Value]],
+    fault_sets: Iterable[Sequence[ProcessId]],
+    adversary_makers: Iterable[Tuple[str, AdversaryMaker]],
+    seeds: Iterable[int] = (0,),
+    predicate: Optional[CorrectnessPredicate] = None,
+    max_rounds: int = 100,
+    run_full_rounds: Optional[int] = None,
+    sizer: Optional[Callable[[Any], int]] = None,
+    is_null: Optional[Callable[[Any], bool]] = None,
+) -> SweepReport:
+    """Run the full grid and evaluate ``predicate`` on each outcome.
+
+    ``adversary_makers`` must build a *fresh* adversary per call —
+    strategies may carry per-execution state (ghost processes, stale
+    caches).  The predicate receives the paper's
+    ``(ans(E), F, I)`` triple; ``None`` skips evaluation.
+    """
+    outcomes: List[SweepOutcome] = []
+    for inputs in input_patterns:
+        for faulty in fault_sets:
+            for adversary_name, maker in adversary_makers:
+                for seed in seeds:
+                    result = run_protocol(
+                        factory,
+                        config,
+                        inputs,
+                        adversary=maker(list(faulty)),
+                        max_rounds=max_rounds,
+                        run_full_rounds=run_full_rounds,
+                        sizer=sizer,
+                        is_null=is_null,
+                        seed=seed,
+                    )
+                    holds: Optional[bool] = None
+                    if predicate is not None:
+                        holds = predicate(
+                            result.answer_vector(),
+                            frozenset(result.faulty_ids),
+                            tuple(
+                                inputs[p] for p in config.process_ids
+                            ),
+                        )
+                    outcomes.append(
+                        SweepOutcome(
+                            inputs=dict(inputs),
+                            faulty=tuple(faulty),
+                            adversary_name=adversary_name,
+                            seed=seed,
+                            result=result,
+                            predicate_holds=holds,
+                        )
+                    )
+    return SweepReport(outcomes)
+
+
+def standard_adversary_makers(
+    values: Sequence[Value] = (0, 1),
+) -> List[Tuple[str, AdversaryMaker]]:
+    """Fresh-instance makers for the whole Byzantine gallery."""
+    from repro.adversary import (
+        CollusionAdversary,
+        EquivocatingAdversary,
+        MalformedArrayAdversary,
+        RandomGarbageAdversary,
+        SilentAdversary,
+        VoteSplitterAdversary,
+    )
+
+    value_a, value_b = values[0], values[-1]
+    return [
+        ("silent", SilentAdversary),
+        ("garbage", lambda f: RandomGarbageAdversary(f, palette=list(values))),
+        ("equivocator", lambda f: EquivocatingAdversary(f, value_a, value_b)),
+        ("splitter", VoteSplitterAdversary),
+        ("malformed", MalformedArrayAdversary),
+        ("collusion", CollusionAdversary),
+    ]

@@ -1,0 +1,54 @@
+"""The eps <-> k time/communication tradeoff (Corollary 10).
+
+"There is a tradeoff between the number of rounds and the degree of
+the polynomial bounding the communication.  The value of this tradeoff
+is determined by a numerical parameter to the transformation."
+
+For a chosen ``eps > 0`` the paper picks ``k = ceil(2 / eps)``, giving
+at most ``(1 + eps)(t + 1)`` rounds and messages of size
+``O(n^k log |V|)`` — smaller ``eps`` means more rounds saved turns
+into a bigger polynomial degree.  This module tabulates the tradeoff
+for the experiment E2 sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.rounds import actual_rounds_for, k_for_epsilon, overhead_factor
+
+
+def achieved_round_factor(k: int, overhead: int = 2) -> float:
+    """The worst-case inflation actually achieved: ``(k + overhead)/k``."""
+    return overhead_factor(k, overhead)
+
+
+def message_size_exponent(k: int) -> int:
+    """Degree of the per-message polynomial, ``n ** k``."""
+    return k
+
+
+def epsilon_table(
+    epsilons: Sequence[float], t: int, overhead: int = 2
+) -> List[Dict[str, float]]:
+    """One row per ``eps``: k, rounds to decide, inflation, exponent.
+
+    ``rounds`` is the exact round count for ``t + 1`` simulated rounds
+    (the final block skips its overhead), so it can undercut the
+    ``(1 + eps)(t + 1)`` guarantee; ``guarantee`` is the bound itself.
+    """
+    rows = []
+    for epsilon in epsilons:
+        k = k_for_epsilon(epsilon, overhead)
+        rounds = actual_rounds_for(t + 1, k, overhead)
+        rows.append(
+            {
+                "epsilon": epsilon,
+                "k": k,
+                "rounds": rounds,
+                "guarantee": (1 + epsilon) * (t + 1),
+                "factor": achieved_round_factor(k, overhead),
+                "message_exponent": message_size_exponent(k),
+            }
+        )
+    return rows

@@ -1,0 +1,74 @@
+"""Nested arrays and partial functions (Section 5.1 of the paper).
+
+The compact full-information protocol manipulates *i-dimensional
+arrays*: a 0-dimensional array of a set ``S`` is any element of ``S``;
+an i-dimensional array is an ``n``-vector of (i-1)-dimensional arrays.
+Two array families matter:
+
+* **value arrays** — arrays over the input set ``V``; the states and
+  messages of the full-information protocol,
+* **index arrays** — arrays over processor ids ``{1..n}``; the
+  compressed states (``CORE``) of the compact protocol in blocks
+  after the first.
+
+Arrays are represented as plain nested tuples so that they are
+hashable (avalanche agreement tallies votes over them), cheaply
+comparable, and directly printable.  The paper's "undefined" element
+is :data:`repro.types.BOTTOM`; by the paper's convention an array is
+undefined whenever any element of it is undefined, and a partial
+function applied to an undefined argument is undefined.
+"""
+
+from repro.arrays.value_array import (
+    array_depth,
+    array_leaves,
+    count_leaves,
+    is_defined_array,
+    is_index_scalar,
+    iter_paths,
+    leaf_at,
+    make_array,
+    map_leaves,
+    replace_at,
+    uniform_array,
+    validate_array,
+)
+from repro.arrays.partial import (
+    PartialFunction,
+    compose,
+    identity,
+    is_extension,
+    substitutive_apply,
+    table_function,
+)
+from repro.arrays.encoding import (
+    MessageSizer,
+    bits_for_alphabet,
+    encoded_array_bits,
+    encoded_message_bits,
+)
+
+__all__ = [
+    "array_depth",
+    "array_leaves",
+    "count_leaves",
+    "is_defined_array",
+    "is_index_scalar",
+    "iter_paths",
+    "leaf_at",
+    "make_array",
+    "map_leaves",
+    "replace_at",
+    "uniform_array",
+    "validate_array",
+    "PartialFunction",
+    "compose",
+    "identity",
+    "is_extension",
+    "substitutive_apply",
+    "table_function",
+    "MessageSizer",
+    "bits_for_alphabet",
+    "encoded_array_bits",
+    "encoded_message_bits",
+]

@@ -1,0 +1,121 @@
+"""Exact bit accounting for protocol messages (Section 5.6 costs).
+
+The paper measures communication in *message bits*, with every bound
+carrying a ``log |V|`` factor for value leaves; index leaves cost
+``log n``.  We never serialise hot-path traffic — messages travel as
+Python objects — but every message is *measured* as if encoded:
+
+* a scalar value leaf costs ``ceil(log2 |V|)`` bits (minimum 1),
+* a scalar index leaf costs ``ceil(log2 n)`` bits (minimum 1),
+* an array costs the sum of its leaves plus a small self-delimiting
+  header (:data:`HEADER_BITS` per array node) covering shape framing,
+* :data:`repro.types.BOTTOM` and the null message of the avalanche
+  coding convention (Section 4) cost :data:`NULL_BITS` = 0 bits,
+  matching the paper's "at a cost of 0 bits",
+* a tuple-of-subprotocol-components message (Section 5.2) costs the
+  sum of its components.
+
+These constants make measured totals reproducible and comparable with
+the paper's asymptotic claims; EXPERIMENTS.md reports both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.errors import EncodingError
+from repro.types import is_bottom
+
+# Framing overhead charged once per composite (tuple) node.  Covers a
+# length/shape marker; a constant so that totals stay within the
+# paper's O(.) bounds (each node adds O(1) bits per child pointer-free
+# preorder encoding).
+HEADER_BITS = 2
+
+# Cost of the null message under the avalanche coding convention and of
+# an absent (bottom) component.
+NULL_BITS = 0
+
+
+def bits_for_alphabet(size: int) -> int:
+    """Bits needed to name one element of an alphabet of ``size``.
+
+    ``ceil(log2 size)``, with a floor of 1 bit so that even a unary
+    alphabet is charged something when actually transmitted.
+    """
+    if size < 1:
+        raise EncodingError(f"alphabet size must be positive, got {size}")
+    if size == 1:
+        return 1
+    return math.ceil(math.log2(size))
+
+
+def encoded_array_bits(array: Any, leaf_bits: int) -> int:
+    """Measured size of a nested-tuple array with uniform leaf cost."""
+    if is_bottom(array):
+        return NULL_BITS
+    if isinstance(array, tuple):
+        return HEADER_BITS + sum(
+            encoded_array_bits(component, leaf_bits) for component in array
+        )
+    return leaf_bits
+
+
+def encoded_message_bits(message: Any, leaf_bits: Callable[[Any], int]) -> int:
+    """Measured size with a per-leaf cost function.
+
+    ``leaf_bits`` receives each scalar leaf and returns its bit cost;
+    use this when a message mixes value leaves and index leaves.
+    """
+    if is_bottom(message):
+        return NULL_BITS
+    if isinstance(message, tuple):
+        return HEADER_BITS + sum(
+            encoded_message_bits(component, leaf_bits) for component in message
+        )
+    return leaf_bits(message)
+
+
+class MessageSizer:
+    """Per-protocol message measurement policy.
+
+    A protocol constructs one of these with its value-alphabet size and
+    the system size ``n``; the runtime's metrics layer calls
+    :meth:`measure` on every message a correct processor sends.
+
+    Parameters
+    ----------
+    value_alphabet_size:
+        ``|V|`` — the number of legal input values.
+    n:
+        Number of processors (sizes index leaves).
+    """
+
+    def __init__(self, value_alphabet_size: int, n: int):
+        self.value_bits = bits_for_alphabet(value_alphabet_size)
+        self.index_bits = bits_for_alphabet(n)
+        self._n = n
+
+    def _leaf_bits(self, leaf: Any) -> int:
+        # Index leaves are ints in 1..n; everything else is charged as
+        # a value.  Booleans are values (True/False inputs), not ids.
+        if (
+            isinstance(leaf, int)
+            and not isinstance(leaf, bool)
+            and 1 <= leaf <= self._n
+        ):
+            return self.index_bits
+        return self.value_bits
+
+    def measure(self, message: Any) -> int:
+        """Exact measured size of ``message`` in bits."""
+        return encoded_message_bits(message, self._leaf_bits)
+
+    def measure_value_array(self, array: Any) -> int:
+        """Size of an array charging every leaf as a value."""
+        return encoded_array_bits(array, self.value_bits)
+
+    def measure_index_array(self, array: Any) -> int:
+        """Size of an array charging every leaf as an index."""
+        return encoded_array_bits(array, self.index_bits)

@@ -1,0 +1,180 @@
+"""i-dimensional arrays as nested tuples (Section 5.1).
+
+An array of dimension 0 is a scalar (any non-tuple value); an array of
+dimension ``i > 0`` is a tuple of exactly ``n`` arrays of dimension
+``i - 1``.  Scalars are required to be non-tuples so that the depth of
+an array is determined by its structure alone.
+
+Paths
+-----
+A *path* into a depth-``d`` array is a tuple of up to ``d`` processor
+ids (1-based, matching the paper).  The empty path addresses the array
+itself; path ``(q,)`` addresses the ``q``-th component, and so on.
+Paths double as the node labels of the exponential-information-
+gathering (EIG) tree view in :mod:`repro.fullinfo.eig`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence, Tuple
+
+from repro.errors import ProtocolViolation
+from repro.types import BOTTOM, is_bottom
+
+Path = Tuple[int, ...]
+
+
+def make_array(components: Sequence[Any]) -> Tuple[Any, ...]:
+    """Build a 1-level-deeper array from ``n`` component arrays."""
+    return tuple(components)
+
+
+def uniform_array(scalar: Any, depth: int, n: int) -> Any:
+    """Return the depth-``depth`` array all of whose leaves are ``scalar``.
+
+    Used to build well-shaped default messages when a faulty
+    processor's message must be replaced (Theorem 9, Case 3).
+    """
+    if depth < 0:
+        raise ValueError(f"depth must be non-negative, got {depth}")
+    result: Any = scalar
+    for _ in range(depth):
+        result = tuple(result for _ in range(n))
+    return result
+
+
+def array_depth(array: Any, n: int) -> int:
+    """Return the dimension of ``array``, validating uniform shape.
+
+    Raises
+    ------
+    ProtocolViolation
+        If the array is ragged, has a level whose length is not ``n``,
+        or mixes scalars and sub-arrays at one level.  Messages
+        arriving off the network are validated with this before use,
+        so a faulty sender cannot crash a correct processor.
+    """
+    if not isinstance(array, tuple):
+        return 0
+    if len(array) != n:
+        raise ProtocolViolation(
+            f"array level has length {len(array)}, expected n={n}"
+        )
+    depths = {array_depth(component, n) for component in array}
+    if len(depths) != 1:
+        raise ProtocolViolation(f"ragged array: component depths {depths}")
+    return 1 + depths.pop()
+
+
+def validate_array(
+    array: Any,
+    n: int,
+    depth: int = None,
+    leaf_ok: Callable[[Any], bool] = None,
+) -> bool:
+    """Check shape (and optionally depth and leaf membership).
+
+    Returns ``True`` when the array is well-formed; ``False`` otherwise
+    (never raises, unlike :func:`array_depth`).  This is the defensive
+    entry point for anything received from a possibly faulty sender.
+    """
+    try:
+        actual = array_depth(array, n)
+    except ProtocolViolation:
+        return False
+    if depth is not None and actual != depth:
+        return False
+    if leaf_ok is not None:
+        return all(leaf_ok(leaf) for leaf in array_leaves(array))
+    return True
+
+
+def array_leaves(array: Any) -> Iterator[Any]:
+    """Yield the scalar leaves of ``array`` in left-to-right order."""
+    if isinstance(array, tuple):
+        for component in array:
+            yield from array_leaves(component)
+    else:
+        yield array
+
+
+def count_leaves(array: Any) -> int:
+    """Number of scalar leaves (``n ** depth`` for a well-shaped array)."""
+    if not isinstance(array, tuple):
+        return 1
+    return sum(count_leaves(component) for component in array)
+
+
+def is_defined_array(array: Any) -> bool:
+    """Paper convention: an array is undefined if any element is.
+
+    A bare :data:`BOTTOM` is also undefined.
+    """
+    return not any(is_bottom(leaf) for leaf in array_leaves(array))
+
+
+def map_leaves(function: Callable[[Any], Any], array: Any) -> Any:
+    """Apply a scalar function to every leaf (a *substitutive* apply).
+
+    This realises the substitutivity property of Section 5.1:
+    ``f((a_1, ..., a_n)) = (f(a_1), ..., f(a_n))``.  The paper's
+    partiality convention is **not** applied here; use
+    :func:`repro.arrays.partial.substitutive_apply` when an undefined
+    leaf must make the whole result undefined.
+    """
+    if isinstance(array, tuple):
+        return tuple(map_leaves(function, component) for component in array)
+    return function(array)
+
+
+def leaf_at(array: Any, path: Path) -> Any:
+    """Return the sub-array addressed by ``path`` (1-based components)."""
+    node = array
+    for process_id in path:
+        if not isinstance(node, tuple):
+            raise ProtocolViolation(
+                f"path {path} descends below the leaves of the array"
+            )
+        if not 1 <= process_id <= len(node):
+            raise ProtocolViolation(
+                f"path component {process_id} outside 1..{len(node)}"
+            )
+        node = node[process_id - 1]
+    return node
+
+
+def replace_at(array: Any, path: Path, value: Any) -> Any:
+    """Return a copy of ``array`` with the sub-array at ``path`` replaced."""
+    if not path:
+        return value
+    if not isinstance(array, tuple):
+        raise ProtocolViolation(
+            f"path {path} descends below the leaves of the array"
+        )
+    head = path[0]
+    if not 1 <= head <= len(array):
+        raise ProtocolViolation(
+            f"path component {head} outside 1..{len(array)}"
+        )
+    return tuple(
+        replace_at(component, path[1:], value) if index == head - 1 else component
+        for index, component in enumerate(array)
+    )
+
+
+def iter_paths(n: int, depth: int) -> Iterator[Path]:
+    """Yield every leaf path of a depth-``depth`` array over ``n`` ids.
+
+    The number of paths is ``n ** depth``; callers at test scale only.
+    """
+    if depth == 0:
+        yield ()
+        return
+    for prefix in iter_paths(n, depth - 1):
+        for process_id in range(1, n + 1):
+            yield prefix + (process_id,)
+
+
+def is_index_scalar(value: Any, n: int) -> bool:
+    """Whether ``value`` is a processor id usable in an index array."""
+    return isinstance(value, int) and not isinstance(value, bool) and 1 <= value <= n

@@ -1,0 +1,103 @@
+"""The null-message coding convention (end of Section 4).
+
+    "A processor that wishes to send the same message that it sent in
+    the previous round instead sends the null message (at a cost of 0
+    bits).  It is easy to show that using this convention each correct
+    processor sends at most 3 non-null messages in any execution."
+
+Why 3: a correct processor's broadcast sequence in Protocol 2 is its
+input ``v`` (round 1), then either bottom or the persistent value
+``w``, with the only possible later transition being bottom -> ``w``
+(Lemma 4 plus the adoption rule).  The sequence therefore has at most
+three runs — e.g. ``v, bottom, ..., bottom, w, w, ...`` — and only the
+first element of each run is non-null.
+
+:class:`NullEncoder` (sender side) and :class:`NullDecoder` (receiver
+side) implement the convention for broadcast channels.  The metrics
+layer charges :data:`NULL_MESSAGE` zero bits via the network's
+``is_null``/``sizer`` hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.types import BOTTOM, ProcessId
+
+
+class _NullMessage:
+    """Singleton wire marker: "same as my previous round's message"."""
+
+    _instance = None
+
+    def __new__(cls) -> "_NullMessage":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL_MESSAGE"
+
+    def __reduce__(self):
+        return (_NullMessage, ())
+
+
+NULL_MESSAGE = _NullMessage()
+
+
+def is_null_message(message: Any) -> bool:
+    """Whether ``message`` is the coding convention's null marker."""
+    return message is NULL_MESSAGE
+
+
+class NullEncoder:
+    """Sender-side state: replaces repeats of the last broadcast by null.
+
+    The convention is defined for broadcast traffic (Protocol 2
+    broadcasts), so one remembered value per encoder suffices.
+    """
+
+    def __init__(self) -> None:
+        self._last: Any = _UNSET
+
+    def encode(self, message: Any) -> Any:
+        """Return ``message`` or :data:`NULL_MESSAGE` if it repeats."""
+        if self._last is not _UNSET and message == self._last:
+            return NULL_MESSAGE
+        self._last = message
+        return message
+
+
+class NullDecoder:
+    """Receiver-side state: expands null back to the sender's last value.
+
+    Tracks one remembered message per sender.  A null from a sender
+    that has never sent a real message decodes to :data:`BOTTOM` —
+    only a faulty sender can produce that, and bottom is exactly how
+    the protocols treat garbage.
+    """
+
+    def __init__(self) -> None:
+        self._last: Dict[ProcessId, Any] = {}
+
+    def decode(self, sender: ProcessId, message: Any) -> Any:
+        """Expand ``message`` from ``sender``; remembers real values."""
+        if is_null_message(message):
+            return self._last.get(sender, BOTTOM)
+        self._last[sender] = message
+        return message
+
+
+class _Unset:
+    _instance = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNSET"
+
+
+_UNSET = _Unset()

@@ -1,0 +1,123 @@
+"""Executable checkers for the three avalanche agreement conditions.
+
+Each checker inspects a finished (possibly non-deciding) execution and
+returns a list of human-readable violations — empty means the
+condition holds on that execution.  Tests assert emptiness across
+adversary sweeps; experiment E1 reports the aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.types import BOTTOM, ProcessId, Value, is_bottom
+
+
+def check_avalanche_condition(
+    decisions: Mapping[ProcessId, Value],
+    decision_rounds: Mapping[ProcessId, Optional[int]],
+    correct_ids: Sequence[ProcessId],
+    rounds_run: int,
+) -> List[str]:
+    """If any correct processor decides ``v`` in round ``r``, all
+    correct processors decide ``v`` by round ``r + 1``.
+
+    Executions cut off at ``rounds_run`` can only be judged for
+    decisions made strictly before the cut, so a decision in the very
+    last observed round imposes no obligation here (the window extends
+    past the observation).
+    """
+    violations: List[str] = []
+    decided = [
+        (decision_rounds[process_id], process_id)
+        for process_id in correct_ids
+        if not is_bottom(decisions.get(process_id, BOTTOM))
+    ]
+    if not decided:
+        return violations
+
+    values = {decisions[process_id] for _, process_id in decided}
+    if len(values) > 1:
+        violations.append(f"correct processors decided differing values {values}")
+
+    first_round, first_id = min(decided)
+    if first_round is None or first_round >= rounds_run:
+        return violations
+    deadline = first_round + 1
+    for process_id in correct_ids:
+        round_decided = decision_rounds.get(process_id)
+        if is_bottom(decisions.get(process_id, BOTTOM)):
+            violations.append(
+                f"processor {first_id} decided in round {first_round} but "
+                f"processor {process_id} never decided (ran {rounds_run} rounds)"
+            )
+        elif round_decided is not None and round_decided > deadline:
+            violations.append(
+                f"processor {process_id} decided in round {round_decided}, "
+                f"after the avalanche deadline {deadline}"
+            )
+    return violations
+
+
+def check_consensus_condition(
+    decisions: Mapping[ProcessId, Value],
+    decision_rounds: Mapping[ProcessId, Optional[int]],
+    inputs: Mapping[ProcessId, Value],
+    correct_ids: Sequence[ProcessId],
+    rounds_run: int,
+    deadline: int = 2,
+) -> List[str]:
+    """Unanimous correct input ``v`` forces a decision of ``v`` by
+    round ``deadline`` (2 for Protocol 2; 1 for the fast variant)."""
+    violations: List[str] = []
+    correct_inputs = {inputs[process_id] for process_id in correct_ids}
+    if len(correct_inputs) != 1:
+        return violations
+    unanimous = next(iter(correct_inputs))
+    if is_bottom(unanimous):
+        return violations
+    if rounds_run < deadline:
+        return violations  # execution too short to judge
+    for process_id in correct_ids:
+        decision = decisions.get(process_id, BOTTOM)
+        round_decided = decision_rounds.get(process_id)
+        if is_bottom(decision):
+            violations.append(
+                f"unanimous input {unanimous!r} but processor {process_id} "
+                f"did not decide within {rounds_run} rounds"
+            )
+        elif decision != unanimous:
+            violations.append(
+                f"unanimous input {unanimous!r} but processor {process_id} "
+                f"decided {decision!r}"
+            )
+        elif round_decided is not None and round_decided > deadline:
+            violations.append(
+                f"unanimous input but processor {process_id} decided in round "
+                f"{round_decided} > deadline {deadline}"
+            )
+    return violations
+
+
+def check_plausibility_condition(
+    decisions: Mapping[ProcessId, Value],
+    inputs: Mapping[ProcessId, Value],
+    correct_ids: Sequence[ProcessId],
+) -> List[str]:
+    """Every decided value was the input of some correct processor."""
+    violations: List[str] = []
+    correct_inputs = {
+        inputs[process_id]
+        for process_id in correct_ids
+        if not is_bottom(inputs[process_id])
+    }
+    for process_id in correct_ids:
+        decision = decisions.get(process_id, BOTTOM)
+        if is_bottom(decision):
+            continue
+        if decision not in correct_inputs:
+            violations.append(
+                f"processor {process_id} decided {decision!r}, which was no "
+                f"correct processor's input"
+            )
+    return violations

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives a downstream user the paper's artifacts without writing code:
+
+* ``table1``    — regenerate Table 1 for any ``k``,
+* ``run-ba``    — run compact Byzantine agreement with a chosen
+  adversary and print decisions, rounds and metered bits,
+* ``compare``   — the Section 5.6 comparison (analytic and measured),
+* ``tradeoff``  — the eps <-> k table,
+* ``crossover`` — the exponential-vs-polynomial growth figure,
+* ``avalanche`` — a standalone avalanche agreement demo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.adversary import (
+    CollusionAdversary,
+    EquivocatingAdversary,
+    MalformedArrayAdversary,
+    PassiveAdversary,
+    RandomGarbageAdversary,
+    SilentAdversary,
+    VoteSplitterAdversary,
+)
+from repro.analysis.compare import comparison_table, measured_comparison
+from repro.analysis.figures import crossover_chart
+from repro.analysis.report import format_table
+from repro.analysis.tradeoff import epsilon_table
+from repro.avalanche.protocol import avalanche_factory
+from repro.compact.byzantine_agreement import run_compact_byzantine_agreement
+from repro.core.rounds import BlockSchedule
+from repro.runtime.engine import run_protocol
+from repro.types import SystemConfig
+
+ADVERSARY_CHOICES = {
+    "none": lambda faulty: PassiveAdversary(),
+    "silent": SilentAdversary,
+    "garbage": RandomGarbageAdversary,
+    "equivocator": lambda faulty: EquivocatingAdversary(faulty, 0, 1),
+    "splitter": VoteSplitterAdversary,
+    "malformed": MalformedArrayAdversary,
+    "collusion": CollusionAdversary,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Coan (PODC 1986): communication-efficient "
+            "canonical forms for fault-tolerant protocols."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table1 = commands.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("--k", type=int, default=2)
+    table1.add_argument("--rounds", type=int, default=14)
+
+    run_ba = commands.add_parser(
+        "run-ba", help="run compact Byzantine agreement"
+    )
+    run_ba.add_argument("--t", type=int, default=2)
+    run_ba.add_argument("--n", type=int, default=None)
+    run_ba.add_argument("--k", type=int, default=None)
+    run_ba.add_argument("--epsilon", type=float, default=None)
+    run_ba.add_argument(
+        "--adversary", choices=sorted(ADVERSARY_CHOICES), default="equivocator"
+    )
+    run_ba.add_argument("--seed", type=int, default=0)
+    run_ba.add_argument(
+        "--authenticated",
+        action="store_true",
+        help="use the signed, zero-overhead variant (t + 1 rounds)",
+    )
+
+    compare = commands.add_parser(
+        "compare", help="the Section 5.6 comparison"
+    )
+    compare.add_argument("--t", type=int, default=2)
+    compare.add_argument(
+        "--measured", action="store_true", help="also run every protocol"
+    )
+
+    tradeoff = commands.add_parser("tradeoff", help="the eps <-> k table")
+    tradeoff.add_argument("--t", type=int, default=4)
+
+    crossover = commands.add_parser(
+        "crossover", help="the growth-curves figure"
+    )
+    crossover.add_argument("--max-t", type=int, default=8)
+    crossover.add_argument("--k", type=int, default=1)
+
+    avalanche = commands.add_parser(
+        "avalanche", help="standalone avalanche agreement demo"
+    )
+    avalanche.add_argument("--t", type=int, default=2)
+    avalanche.add_argument(
+        "--adversary", choices=sorted(ADVERSARY_CHOICES), default="splitter"
+    )
+    avalanche.add_argument("--rounds", type=int, default=8)
+
+    return parser
+
+
+def _command_table1(args) -> str:
+    schedule = BlockSchedule(args.k)
+    return format_table(
+        schedule.table(args.rounds),
+        columns=["r", "block", "prior", "phase", "simul"],
+        title=f"Table 1 — {args.rounds} rounds, k = {args.k}",
+    )
+
+
+def _command_run_ba(args) -> str:
+    n = args.n if args.n is not None else 3 * args.t + 1
+    config = SystemConfig(n=n, t=args.t)
+    inputs = {p: p % 2 for p in config.process_ids}
+    faulty = list(range(1, args.t + 1))
+    adversary = ADVERSARY_CHOICES[args.adversary](faulty)
+    if getattr(args, "authenticated", False):
+        from repro.compact.authenticated_variant import (
+            auth_compact_ba_factory,
+            auth_sizer,
+        )
+        from repro.runtime.crypto import SignatureOracle
+
+        result = run_protocol(
+            auth_compact_ba_factory(
+                config, [0, 1], SignatureOracle(), k=args.k or 1
+            ),
+            config,
+            inputs,
+            adversary=adversary,
+            max_rounds=config.t + 2,
+            sizer=auth_sizer(config, 2),
+            seed=args.seed,
+        )
+        variant = "authenticated (zero overhead)"
+    else:
+        kwargs = {}
+        if args.k is None and args.epsilon is None:
+            kwargs["epsilon"] = 1.0
+        elif args.k is not None:
+            kwargs["k"] = args.k
+        else:
+            kwargs["epsilon"] = args.epsilon
+        result = run_compact_byzantine_agreement(
+            config,
+            inputs,
+            value_alphabet=[0, 1],
+            adversary=adversary,
+            seed=args.seed,
+            **kwargs,
+        )
+        variant = "compact (Corollary 10)"
+    lines = [
+        f"n = {n}, t = {args.t}, variant = {variant}, "
+        f"adversary = {args.adversary} (faulty = {faulty})",
+        f"decisions: {dict(sorted(result.decisions.items()))}",
+        f"rounds: {result.rounds}",
+        f"message bits: {result.metrics.total_bits}",
+    ]
+    return "\n".join(lines)
+
+
+def _command_compare(args) -> str:
+    output = format_table(
+        comparison_table(args.t),
+        title=f"Section 5.6 comparison, analytic (t = {args.t})",
+    )
+    if args.measured:
+        measured = measured_comparison(
+            args.t, lambda faulty: EquivocatingAdversary(faulty, 0, 1)
+        )
+        output += "\n\n" + format_table(
+            measured,
+            columns=["protocol", "rounds", "bits", "decisions"],
+            title="measured under equivocating faults",
+        )
+    return output
+
+
+def _command_tradeoff(args) -> str:
+    return format_table(
+        epsilon_table((2.0, 1.0, 0.5, 0.25), t=args.t),
+        title=f"eps <-> k tradeoff at t = {args.t}",
+    )
+
+
+def _command_crossover(args) -> str:
+    return crossover_chart(max_t=args.max_t, k=args.k)
+
+
+def _command_avalanche(args) -> str:
+    config = SystemConfig(n=3 * args.t + 1, t=args.t)
+    inputs = {
+        p: ("v" if p % 3 else "w") for p in config.process_ids
+    }
+    faulty = list(range(1, args.t + 1))
+    adversary = ADVERSARY_CHOICES[args.adversary](faulty)
+    result = run_protocol(
+        avalanche_factory(),
+        config,
+        inputs,
+        adversary=adversary,
+        run_full_rounds=args.rounds,
+    )
+    lines = [
+        f"avalanche agreement: n = {config.n}, t = {config.t}, "
+        f"adversary = {args.adversary}",
+        f"inputs: {inputs}",
+        f"decisions: {dict(sorted(result.decisions.items()))}",
+        f"decision rounds: {dict(sorted(result.decision_rounds.items()))}",
+    ]
+    return "\n".join(lines)
+
+
+_HANDLERS = {
+    "table1": _command_table1,
+    "run-ba": _command_run_ba,
+    "compare": _command_compare,
+    "tradeoff": _command_tradeoff,
+    "crossover": _command_crossover,
+    "avalanche": _command_avalanche,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    print(_HANDLERS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

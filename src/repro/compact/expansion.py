@@ -1,0 +1,123 @@
+"""Expansion functions ``phi_{b,r,p}`` (Section 5.3).
+
+At each round each correct processor computes expansion functions from
+the results of the avalanche agreement subprotocols it has run.  For
+block 1 the expansion is the identity on value arrays; for ``b > 1``
+it is the substitutive partial function on index arrays defined on
+scalars by::
+
+    phi_b(x) = phi_{b-1}(OUT[b][x])
+
+where ``OUT[b][x]`` is the avalanche-agreed end-of-block-``b - 1``
+CORE of processor ``x``.  A scalar outside the function's domain
+(a non-value for ``b = 1``, a non-index or an index with no decided
+OUT for ``b > 1``) expands to bottom, and by the paper's convention
+one bottom component makes the whole expansion bottom.
+
+The state of all OUT tables lives in :class:`ExpansionState`; the
+functions get *more defined* over time as avalanche decisions land
+(never less — decisions are irrevocable), which is why defined
+expansion results can be memoised safely while undefined ones must
+not be.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.arrays.partial import substitutive_apply
+from repro.errors import ProtocolViolation
+from repro.types import BOTTOM, ProcessId, SystemConfig, Value, is_bottom
+
+
+class ExpansionState:
+    """OUT tables plus memoised expansion, for one processor."""
+
+    def __init__(self, config: SystemConfig, value_alphabet: Sequence[Value]):
+        self.config = config
+        self._alphabet = frozenset(value_alphabet)
+        # (boundary, sender) -> agreed end-of-block CORE of sender.
+        self._out: Dict[Tuple[int, ProcessId], Any] = {}
+        # (boundary, array) -> defined expansion result.
+        self._cache: Dict[Tuple[int, Any], Any] = {}
+
+    # -- OUT table maintenance ---------------------------------------------
+
+    def set_out(self, boundary: int, sender: ProcessId, value: Any) -> None:
+        """Record an avalanche decision ``OUT[boundary][sender]``.
+
+        Decisions are irrevocable; recording a *different* value for
+        the same slot indicates a broken avalanche layer and raises.
+        """
+        key = (boundary, sender)
+        if key in self._out and self._out[key] != value:
+            raise ProtocolViolation(
+                f"OUT[{boundary}][{sender}] changed from "
+                f"{self._out[key]!r} to {value!r}"
+            )
+        self._out[key] = value
+
+    def out(self, boundary: int, sender: ProcessId) -> Any:
+        """The agreed value, or bottom if this slot has not decided."""
+        return self._out.get((boundary, sender), BOTTOM)
+
+    def has_out(self, boundary: int, sender: ProcessId) -> bool:
+        """Whether the avalanche slot has decided at this processor."""
+        return (boundary, sender) in self._out
+
+    def out_table(self, boundary: int) -> Dict[ProcessId, Any]:
+        """All decided slots of one boundary (a snapshot)."""
+        return {
+            sender: value
+            for (slot_boundary, sender), value in self._out.items()
+            if slot_boundary == boundary
+        }
+
+    # -- expansion ---------------------------------------------------------
+
+    def expand_scalar(self, boundary: int, scalar: Any) -> Any:
+        """``phi_b`` on a scalar; bottom when outside the domain."""
+        if boundary == 1:
+            try:
+                return scalar if scalar in self._alphabet else BOTTOM
+            except TypeError:
+                return BOTTOM
+        if (
+            not isinstance(scalar, int)
+            or isinstance(scalar, bool)
+            or not 1 <= scalar <= self.config.n
+        ):
+            return BOTTOM
+        agreed = self._out.get((boundary, scalar))
+        if agreed is None:
+            return BOTTOM
+        return self.expand(boundary - 1, agreed)
+
+    def expand(self, boundary: int, array: Any) -> Any:
+        """``phi_b`` applied substitutively to an array.
+
+        Returns the value array the compressed ``array`` stands for,
+        or bottom if any leaf is (currently) outside the domain.
+        """
+        if is_bottom(array):
+            return BOTTOM
+        cache_key: Optional[Tuple[int, Any]]
+        try:
+            cache_key = (boundary, array)
+            if cache_key in self._cache:
+                return self._cache[cache_key]
+        except TypeError:
+            cache_key = None
+        result = substitutive_apply(
+            lambda scalar: self.expand_scalar(boundary, scalar), array
+        )
+        if cache_key is not None and not is_bottom(result):
+            # Defined results are stable: OUT entries never change.
+            # Undefined results may become defined later, so they are
+            # deliberately not cached.
+            self._cache[cache_key] = result
+        return result
+
+    def defined(self, boundary: int, array: Any) -> bool:
+        """Whether ``phi_b`` is defined on ``array`` right now."""
+        return not is_bottom(self.expand(boundary, array))

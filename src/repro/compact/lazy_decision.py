@@ -1,0 +1,283 @@
+"""Polynomial-space decision evaluation on compressed states.
+
+The paper concedes a limitation: "A complete reconstruction of the
+local state of processors in a full-information protocol requires
+exponential space and time.  It is straightforward to devise an
+efficient data representation that requires only a polynomial amount
+of space; however, the question of how much time is required to reach
+a decision remains open."
+
+This module is that straightforward representation made concrete, plus
+an observation that resolves the *time* question for the paper's own
+corollary: the EIG Byzantine decision rule only ever reads leaves at
+**distinct-label** relay chains — `n * (n-1) * ... * (n-t)` of them —
+never the full `n^(t+1)` leaf set.  Reading one leaf of
+``FULL_STATE = phi_b(CORE)`` does not require expanding anything: a
+leaf address can be *pushed through the compression*, descending into
+``CORE`` and, each time a scalar index `x` is met, continuing the
+descent inside the agreed array ``OUT[b][x]`` at boundary ``b - 1``
+(substitutivity makes this exact).  Each leaf read costs ``O(t + k)``
+dictionary hops, so the whole decision runs in time polynomial in the
+number of distinct chains — no exponential expansion ever happens.
+
+:func:`full_state_leaf` is the lazy reader; :func:`lazy_eig_decision`
+is the EIG rule running on top of it.  Tests assert equality with the
+eager path (`tests/compact/test_lazy_decision.py`), and the ablation
+benchmark measures the node-count gap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.compact.expansion import ExpansionState
+from repro.errors import ProtocolViolation
+from repro.types import BOTTOM, ProcessId, Value, is_bottom
+
+Path = Tuple[ProcessId, ...]
+
+
+def full_state_leaf(
+    expansion: ExpansionState,
+    boundary: int,
+    core: Any,
+    path: Path,
+    _counter: Optional[list] = None,
+) -> Any:
+    """The leaf of ``phi_boundary(core)`` at ``path``, computed lazily.
+
+    Never materialises the expansion: descends ``core`` component by
+    component, and whenever the descent reaches a scalar index it
+    re-roots inside the corresponding OUT entry one boundary down.  A
+    scalar *value* is only legal once the path is exhausted (values
+    are the leaves of the fully simulated state).
+
+    Returns :data:`BOTTOM` where the expansion is (currently)
+    undefined.  ``_counter``, when given a one-element list, counts
+    structure-node visits for the ablation benchmark.
+    """
+    node = core
+    level = boundary
+    remaining = tuple(path)
+    while True:
+        if _counter is not None:
+            _counter[0] += 1
+        if is_bottom(node):
+            return BOTTOM
+        if isinstance(node, tuple):
+            if not remaining:
+                raise ProtocolViolation(
+                    f"path {path} too short: stopped at an array level"
+                )
+            head = remaining[0]
+            if not 1 <= head <= len(node):
+                raise ProtocolViolation(
+                    f"path component {head} outside 1..{len(node)}"
+                )
+            node = node[head - 1]
+            remaining = remaining[1:]
+            continue
+        # A scalar.  At boundary 1 it is a value (or junk): the path
+        # must be exhausted.  At higher boundaries it is an index to
+        # chase through the OUT table.
+        if level == 1:
+            if remaining:
+                raise ProtocolViolation(
+                    f"path {path} too long: hit a value with "
+                    f"{len(remaining)} components left"
+                )
+            return expansion.expand_scalar(1, node)
+        if (
+            not isinstance(node, int)
+            or isinstance(node, bool)
+            or not 1 <= node <= expansion.config.n
+        ):
+            return BOTTOM
+        agreed = expansion.out(level, node)
+        if is_bottom(agreed):
+            return BOTTOM
+        node = agreed
+        level -= 1
+
+
+def lazy_eig_decision(
+    expansion: ExpansionState,
+    boundary: int,
+    core: Any,
+    n: int,
+    t: int,
+    default: Value,
+    alphabet: Optional[Sequence[Value]] = None,
+    _counter: Optional[list] = None,
+) -> Value:
+    """The EIG Byzantine decision rule over a *compressed* state.
+
+    Semantics identical to
+    :func:`repro.fullinfo.decision.eig_byzantine_decision` applied to
+    ``phi_boundary(core)`` (which must represent a depth-``t + 1``
+    simulated state), but leaves are fetched lazily with
+    :func:`full_state_leaf`, so the exponential array never exists.
+    """
+    depth = t + 1
+    legal = frozenset(alphabet) if alphabet is not None else None
+
+    def normalise(leaf: Any) -> Value:
+        if is_bottom(leaf):
+            return default
+        if legal is None:
+            return leaf
+        try:
+            return leaf if leaf in legal else default
+        except TypeError:
+            return default
+
+    memo: Dict[Path, Value] = {}
+
+    def resolve(path: Path) -> Value:
+        if path in memo:
+            return memo[path]
+        if len(path) == depth:
+            value = normalise(
+                full_state_leaf(expansion, boundary, core, path, _counter)
+            )
+            memo[path] = value
+            return value
+        tally: Dict[Hashable, int] = {}
+        children = 0
+        for relayer in range(1, n + 1):
+            if relayer in path:
+                continue
+            children += 1
+            vote = resolve((relayer,) + path)
+            tally[vote] = tally.get(vote, 0) + 1
+        best_value, best_count = default, 0
+        for vote, count in sorted(tally.items(), key=lambda item: repr(item[0])):
+            if count > best_count:
+                best_value, best_count = vote, count
+        value = best_value if best_count * 2 > children else default
+        memo[path] = value
+        return value
+
+    return resolve(())
+
+
+def make_lazy_eig_decision_rule(
+    t: int, default: Value, alphabet: Optional[Sequence[Value]] = None
+):
+    """A drop-in decision rule for :class:`CompactProcess` that never
+    expands FULL_STATE.
+
+    Unlike the eager rule it receives the *process*, not the state —
+    use via :func:`attach_lazy_decision`.
+    """
+
+    def rule(process, simulated_round: int) -> Value:
+        if simulated_round < t + 1:
+            return BOTTOM
+        return lazy_eig_decision(
+            process.expansion,
+            process.core_boundary,
+            process.core,
+            n=process.config.n,
+            t=t,
+            default=default,
+            alphabet=alphabet,
+        )
+
+    return rule
+
+
+class LazyDecisionAdapter:
+    """Adapts a lazy rule to the ``(state, round, pid)`` interface.
+
+    :class:`CompactProcess` hands decision rules the expanded
+    FULL_STATE; to keep polynomial space the adapter is installed with
+    a back-reference to the process and *ignores* the state argument —
+    pair it with ``CompactProcess``'s ``decision_rule`` slot via
+    :func:`attach_lazy_decision`, which also suppresses the eager
+    expansion.
+    """
+
+    def __init__(self, process, t: int, default: Value,
+                 alphabet: Optional[Sequence[Value]] = None):
+        self._process = process
+        self._t = t
+        self._default = default
+        self._alphabet = alphabet
+
+    def __call__(self, state: Any, simulated_round: int, process_id) -> Value:
+        if simulated_round < self._t + 1:
+            return BOTTOM
+        return lazy_eig_decision(
+            self._process.expansion,
+            self._process.core_boundary,
+            self._process.core,
+            n=self._process.config.n,
+            t=self._t,
+            default=self._default,
+            alphabet=self._alphabet,
+        )
+
+
+def attach_lazy_decision(
+    process,
+    t: int,
+    default: Value,
+    alphabet: Optional[Sequence[Value]] = None,
+) -> None:
+    """Install a polynomial-space decision rule on a CompactProcess.
+
+    Replaces the process's decision machinery so that at the horizon
+    it resolves directly on the compressed state; ``full_state()`` is
+    never called on the decision path.
+    """
+    adapter = LazyDecisionAdapter(process, t, default, alphabet)
+    process._decision_rule = adapter
+    process._horizon = t + 1
+
+    # Suppress the eager expansion in _maybe_decide by routing the
+    # state argument as BOTTOM-safe: CompactProcess calls
+    # self._decision_rule(self.full_state(), ...), so we replace
+    # _maybe_decide with a lazy-aware version.
+    def _maybe_decide(round_number):
+        if process.has_decided():
+            return
+        if not process.schedule.is_progress_round(round_number):
+            return
+        simulated = process.schedule.simul(round_number)
+        if simulated < t + 1:
+            return
+        value = adapter(None, simulated, process.process_id)
+        if value is not BOTTOM:
+            process.decide(value, round_number)
+
+    process._maybe_decide = _maybe_decide
+
+
+def lazy_compact_ba_factory(
+    value_alphabet: Sequence[Value],
+    default: Value,
+    k: int,
+    overhead: int = 2,
+):
+    """Corollary 10's protocol with the polynomial-space decision path.
+
+    A drop-in alternative to
+    :func:`repro.compact.byzantine_agreement.compact_ba_factory` whose
+    processes never materialise FULL_STATE.
+    """
+    from repro.compact.protocol import CompactProcess
+
+    def factory(process_id, config, input_value):
+        process = CompactProcess(
+            process_id,
+            config,
+            input_value,
+            k=k,
+            value_alphabet=value_alphabet,
+            overhead=overhead,
+        )
+        attach_lazy_decision(process, config.t, default, value_alphabet)
+        return process
+
+    return factory

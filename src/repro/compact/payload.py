@@ -1,0 +1,87 @@
+"""Round messages of the compact protocol, and their exact bit sizes.
+
+Per Section 5.2, when ``x`` subprotocols are active every round
+message is an ``(x + 1)``-tuple: one component for the main protocol
+(a CORE array, or nothing in rounds with no main broadcast) and one
+component per active avalanche batch (an ``n``-tuple of votes, each a
+CORE-sized array, a bottom, or the 0-bit null marker).
+
+The sizer charges exactly what Section 5.6 counts:
+
+* CORE / vote arrays — per-leaf alphabet bits plus per-node framing
+  (values for block 1, processor indices afterwards),
+* null-coded votes — 0 bits,
+* absent components — 0 bits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Tuple
+
+from repro.arrays.encoding import MessageSizer
+from repro.avalanche.coding import is_null_message
+from repro.types import BOTTOM, SystemConfig, is_bottom
+
+
+@dataclasses.dataclass(frozen=True)
+class CompactPayload:
+    """One round's message: main CORE component plus batch votes.
+
+    ``votes`` holds ``(boundary, vote_tuple)`` pairs for each active
+    batch, in boundary order, so the structure is identical at all
+    correct processors (they start the same subprotocols at the same
+    rounds).
+    """
+
+    main: Any
+    votes: Tuple[Tuple[int, Tuple[Any, ...]], ...] = ()
+
+    def votes_for(self, boundary: int) -> Any:
+        """The vote tuple for one batch, or bottom if absent."""
+        for slot_boundary, vote_tuple in self.votes:
+            if slot_boundary == boundary:
+                return vote_tuple
+        return BOTTOM
+
+
+def compact_sizer(
+    config: SystemConfig, value_alphabet_size: int
+) -> Callable[[Any], int]:
+    """Exact measured size, in bits, of a compact-protocol payload."""
+    sizer = MessageSizer(value_alphabet_size, config.n)
+
+    def measure_component(component: Any) -> int:
+        if is_bottom(component) or is_null_message(component):
+            return 0
+        return sizer.measure(component)
+
+    def measure(payload: Any) -> int:
+        if not isinstance(payload, CompactPayload):
+            return measure_component(payload)
+        total = measure_component(payload.main)
+        for _, vote_tuple in payload.votes:
+            if isinstance(vote_tuple, tuple):
+                total += sum(measure_component(vote) for vote in vote_tuple)
+            else:
+                total += measure_component(vote_tuple)
+        return total
+
+    return measure
+
+
+def payload_is_null(payload: Any) -> bool:
+    """Whether a payload carries no billable content at all."""
+    if not isinstance(payload, CompactPayload):
+        return is_bottom(payload) or is_null_message(payload)
+    if not (is_bottom(payload.main) or is_null_message(payload.main)):
+        return False
+    for _, vote_tuple in payload.votes:
+        if not isinstance(vote_tuple, tuple):
+            if not (is_bottom(vote_tuple) or is_null_message(vote_tuple)):
+                return False
+            continue
+        for vote in vote_tuple:
+            if not (is_bottom(vote) or is_null_message(vote)):
+                return False
+    return True

@@ -1,0 +1,112 @@
+"""Subprotocol machinery (Section 5.2).
+
+At the end of each block the compact protocol starts ``n`` avalanche
+agreement instances — one per sender ``q``, with each processor's
+input being the (validated) end-of-block CORE it received from ``q``,
+or bottom if that message was unusable.  The instances run in parallel
+with the main protocol: if ``x`` subprotocols are active, round
+messages are ``(x + 1)``-tuples, one component per subprotocol plus
+one for the main protocol.  Decisions become available at the start of
+the local-state-change portion of the round in which they occur.
+
+:class:`AgreementBatch` bundles the ``n`` instances of one block
+boundary, applies the Section 4 null-message coding to their votes on
+the sending side, and decodes peers' votes on the receiving side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.avalanche.coding import NullDecoder, NullEncoder
+from repro.avalanche.protocol import AvalancheInstance, Thresholds
+from repro.types import BOTTOM, ProcessId, SystemConfig, Value
+
+
+class AgreementBatch:
+    """``n`` avalanche instances for one block boundary, with coding."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        boundary: int,
+        inputs: Dict[ProcessId, Any],
+        thresholds: Thresholds,
+    ):
+        """
+        Parameters
+        ----------
+        boundary:
+            The block number ``b + 1`` whose expansion function these
+            agreements will feed (``OUT[., b + 1]`` in the paper).
+        inputs:
+            Per subject processor ``q``, this processor's input to the
+            instance agreeing on ``q``'s end-of-block CORE — the
+            validated message received from ``q`` in the rebroadcast
+            round, or bottom.
+        """
+        self.config = config
+        self.boundary = boundary
+        self.instances: Dict[ProcessId, AvalancheInstance] = {
+            subject: AvalancheInstance(
+                config,
+                input_value=inputs.get(subject, BOTTOM),
+                thresholds=thresholds,
+            )
+            for subject in config.process_ids
+        }
+        self._encoders: Dict[ProcessId, NullEncoder] = {
+            subject: NullEncoder() for subject in config.process_ids
+        }
+        self._decoders: Dict[ProcessId, NullDecoder] = {
+            subject: NullDecoder() for subject in config.process_ids
+        }
+        self._reported: set = set()
+        self.rounds_stepped = 0
+
+    # -- sending ------------------------------------------------------------
+
+    def outgoing_votes(self) -> Tuple[Any, ...]:
+        """This round's null-encoded votes, one slot per subject."""
+        return tuple(
+            self._encoders[subject].encode(self.instances[subject].message())
+            for subject in self.config.process_ids
+        )
+
+    # -- receiving -----------------------------------------------------------
+
+    def step(
+        self, votes_by_sender: Dict[ProcessId, Any]
+    ) -> List[Tuple[ProcessId, Value]]:
+        """Feed one round of received vote components to the instances.
+
+        ``votes_by_sender[s]`` is the raw component from sender ``s``:
+        expected to be an ``n``-tuple of (possibly null-coded) votes,
+        but arbitrary garbage from a faulty sender is tolerated — a
+        malformed component contributes bottom votes for every
+        subject.  Returns the (subject, value) pairs newly decided in
+        this step.
+        """
+        n = self.config.n
+        self.rounds_stepped += 1
+        decided: List[Tuple[ProcessId, Value]] = []
+        for index, subject in enumerate(self.config.process_ids):
+            decoder = self._decoders[subject]
+            votes: List[Any] = []
+            for sender in self.config.process_ids:
+                component = votes_by_sender.get(sender, BOTTOM)
+                if isinstance(component, tuple) and len(component) == n:
+                    vote = decoder.decode(sender, component[index])
+                else:
+                    vote = BOTTOM
+                votes.append(vote)
+            instance = self.instances[subject]
+            instance.step(votes)
+            if instance.has_decided() and subject not in self._reported:
+                self._reported.add(subject)
+                decided.append((subject, instance.decision))
+        return decided
+
+    def decided_subjects(self) -> Tuple[ProcessId, ...]:
+        """Subjects whose instance has decided at this processor."""
+        return tuple(sorted(self._reported))

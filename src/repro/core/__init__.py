@@ -1,0 +1,46 @@
+"""The paper's formal core.
+
+* :mod:`repro.core.rounds` — the block/prior/phase/simul round
+  arithmetic of Section 5.1 (Table 1),
+* :mod:`repro.core.automaton` — protocols as synchronous systems of
+  automata (Section 3.1),
+* :mod:`repro.core.execution` — executions ``(k, F, I, M)``, deciding
+  executions, ``ans(E)``,
+* :mod:`repro.core.predicates` — correctness predicates and the
+  standard instances (agreement, validity, approximate agreement),
+* :mod:`repro.core.simulation` — the simulation relation and a
+  runtime checker (Theorem 1 made executable),
+* :mod:`repro.core.transform` — the headline canonical-form
+  transformation: any consensus protocol in, a communication-efficient
+  protocol out.
+"""
+
+from repro.core.rounds import BlockSchedule, block, phase, prior, simul
+from repro.core.automaton import AutomatonProtocol, run_automaton_locally
+from repro.core.execution import ExecutionRecord
+from repro.core.predicates import (
+    CorrectnessPredicate,
+    agreement_predicate,
+    approximate_agreement_predicate,
+    byzantine_agreement_predicate,
+    validity_predicate,
+)
+from repro.core.simulation import SimulationWitness, check_simulation
+
+__all__ = [
+    "BlockSchedule",
+    "block",
+    "phase",
+    "prior",
+    "simul",
+    "AutomatonProtocol",
+    "run_automaton_locally",
+    "ExecutionRecord",
+    "CorrectnessPredicate",
+    "agreement_predicate",
+    "approximate_agreement_predicate",
+    "byzantine_agreement_predicate",
+    "validity_predicate",
+    "SimulationWitness",
+    "check_simulation",
+]

@@ -1,0 +1,72 @@
+"""Execution records (Section 3.1).
+
+An execution of a protocol is a 4-tuple ``(k, F, I, M)``: the number
+of rounds, the faulty set, the input vector, and the messages sent by
+faulty processors.  :class:`ExecutionRecord` is that tuple as a value
+object, constructible from a runtime
+:class:`repro.runtime.engine.ExecutionResult` (whose trace holds the
+faulty messages when tracing was enabled).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.runtime.engine import ExecutionResult
+from repro.runtime.message import Envelope
+from repro.types import BOTTOM, ProcessId, Value
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionRecord:
+    """The paper's ``(k, F, I, M)`` together with the observed answers."""
+
+    rounds: int
+    faulty: FrozenSet[ProcessId]
+    inputs: Tuple[Value, ...]
+    faulty_messages: Tuple[Envelope, ...]
+    answers: Tuple[Value, ...]
+
+    @classmethod
+    def from_result(cls, result: ExecutionResult) -> "ExecutionRecord":
+        """Project a runtime result onto the formal 4-tuple.
+
+        ``M`` is populated only when the run recorded a trace;
+        otherwise it is empty (the formal content of ``M`` is not
+        needed to evaluate correctness predicates, which see only
+        ``ans(E)``, ``F`` and ``I``).
+        """
+        faulty_messages: List[Envelope] = []
+        if result.trace is not None:
+            faulty_messages = [
+                envelope
+                for envelope in result.trace.envelopes
+                if envelope.sender in result.faulty_ids
+            ]
+        return cls(
+            rounds=result.rounds,
+            faulty=frozenset(result.faulty_ids),
+            inputs=tuple(
+                result.inputs[process_id]
+                for process_id in result.config.process_ids
+            ),
+            faulty_messages=tuple(faulty_messages),
+            answers=result.answer_vector(),
+        )
+
+    def is_deciding(self) -> bool:
+        """All correct processors decided (their answer is not BOTTOM)."""
+        return all(
+            self.answers[process_id - 1] is not BOTTOM
+            for process_id in range(1, len(self.answers) + 1)
+            if process_id not in self.faulty
+        )
+
+    def correct_answers(self) -> Dict[ProcessId, Value]:
+        """Decision per correct processor."""
+        return {
+            process_id: self.answers[process_id - 1]
+            for process_id in range(1, len(self.answers) + 1)
+            if process_id not in self.faulty
+        }

@@ -1,0 +1,191 @@
+"""Decision rules over full-information states.
+
+Two constructions from the paper live here.
+
+**Theorem 2's simulation functions.**  :func:`reconstruct_state`
+computes ``f_p``: the state an arbitrary protocol ``P`` would have
+reached, from a full-information state alone::
+
+    f_p(s) = s                                          if s in V
+    f_p(s) = delta_p(mu_1p(f_1(s_1)), ..., mu_np(f_n(s_n)))  otherwise
+
+Composing a protocol's own decision function with ``f_p`` yields a
+decision rule for the (compact) full-information protocol that, by
+Theorem 1, inherits the original protocol's correctness predicate —
+that composition is :class:`DerivedDecisionRule`.
+
+**The exponential Byzantine agreement decision rule** (Corollary 10
+cites Lamport, Shostak and Pease [13]).  Applied to a depth-``t + 1``
+full-information state with ``n > 3t``, :func:`eig_byzantine_decision`
+performs the classic recursive strict-majority resolution over relay
+chains with *distinct* labels (repeat-label chains carry no extra
+power and are excluded, as in the standard EIG analysis):
+
+* a full-length chain resolves to its recorded value,
+* an internal chain resolves to the strict majority of its one-relayer
+  extensions, or the default value when no strict majority exists,
+* the decision is the resolution of the empty chain.
+
+Malformed leaves (a Byzantine processor's garbage surviving into a
+claim about itself) are normalised to the default value first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.arrays.value_array import array_depth, leaf_at
+from repro.core.automaton import AutomatonProtocol
+from repro.errors import ProtocolViolation
+from repro.types import BOTTOM, ProcessId, Value
+
+Chain = Tuple[ProcessId, ...]
+
+
+def reconstruct_state(
+    protocol: AutomatonProtocol,
+    process_id: ProcessId,
+    state: Any,
+    _memo: Optional[Dict[Tuple[ProcessId, Any], Any]] = None,
+) -> Any:
+    """Theorem 2's ``f_p``: protocol ``P``'s state from full information.
+
+    ``state`` is a depth-``i`` value array; the result is the state
+    processor ``process_id`` would hold after ``i`` rounds of ``P`` in
+    the execution the array describes.  Shared subtrees are memoised —
+    without it the recursion revisits the same sub-array once per
+    occurrence, and full-information arrays are full of repeats.
+    """
+    if _memo is None:
+        _memo = {}
+    if not isinstance(state, tuple):
+        return state  # an element of V: an initial state
+    key: Tuple[ProcessId, Any]
+    try:
+        key = (process_id, state)
+        if key in _memo:
+            return _memo[key]
+    except TypeError:  # unhashable leaf smuggled in; skip memoisation
+        key = None  # type: ignore[assignment]
+    messages = tuple(
+        protocol.message(
+            sender,
+            process_id,
+            reconstruct_state(protocol, sender, state[sender - 1], _memo),
+        )
+        for sender in protocol.config.process_ids
+    )
+    result = protocol.transition(process_id, messages)
+    if key is not None:
+        _memo[key] = result
+    return result
+
+
+class DerivedDecisionRule:
+    """``gamma'_p(s) = gamma_p(f_p(s))`` — Theorem 1's decision functions.
+
+    A callable usable as the ``decision_rule`` of the full-information
+    and compact full-information processes.  ``horizon`` suppresses
+    evaluation before the round at which the simulated protocol is
+    known to decide (evaluating ``f_p`` is exponential, so it should
+    run as few times as possible).
+    """
+
+    def __init__(self, protocol: AutomatonProtocol, horizon: Optional[int] = None):
+        self.protocol = protocol
+        self.horizon = (
+            horizon if horizon is not None else protocol.rounds_to_decide
+        )
+
+    def __call__(self, state: Any, simulated_round: int, process_id: ProcessId) -> Value:
+        if self.horizon is not None and simulated_round < self.horizon:
+            return BOTTOM
+        reconstructed = reconstruct_state(self.protocol, process_id, state)
+        return self.protocol.decision(process_id, reconstructed)
+
+
+def eig_byzantine_decision(
+    state: Any,
+    n: int,
+    t: int,
+    process_id: ProcessId,
+    default: Value,
+    alphabet: Optional[Sequence[Value]] = None,
+) -> Value:
+    """Resolve a depth-``t + 1`` full-information state to a decision.
+
+    Parameters
+    ----------
+    state:
+        The processor's full-information state after ``t + 1`` rounds.
+    default:
+        The value adopted where no strict majority exists; all correct
+        processors must use the same default.
+    alphabet:
+        When given, leaves outside it are replaced by ``default``
+        before resolution (defence against garbage leaves).
+    """
+    depth = array_depth(state, n)
+    if depth != t + 1:
+        raise ProtocolViolation(
+            f"EIG decision needs a depth-{t + 1} state, got depth {depth}"
+        )
+    legal = frozenset(alphabet) if alphabet is not None else None
+
+    def normalise(leaf: Any) -> Value:
+        if legal is None:
+            return leaf
+        try:
+            return leaf if leaf in legal else default
+        except TypeError:
+            return default
+
+    # Chains are reverse-chronological array paths with distinct labels;
+    # resolve(path) is Lynch's newval on the corresponding EIG node.
+    memo: Dict[Chain, Value] = {}
+
+    def resolve(path: Chain) -> Value:
+        if path in memo:
+            return memo[path]
+        if len(path) == depth:
+            value = normalise(leaf_at(state, path))
+            memo[path] = value
+            return value
+        # One more (chronologically later) relayer is *prepended* in
+        # array-path order; only distinct labels participate.
+        tally: Dict[Hashable, int] = {}
+        children = 0
+        for relayer in range(1, n + 1):
+            if relayer in path:
+                continue
+            children += 1
+            vote = resolve((relayer,) + path)
+            tally[vote] = tally.get(vote, 0) + 1
+        best_value, best_count = default, 0
+        for vote, count in sorted(tally.items(), key=lambda item: repr(item[0])):
+            if count > best_count:
+                best_value, best_count = vote, count
+        value = best_value if best_count * 2 > children else default
+        memo[path] = value
+        return value
+
+    return resolve(())
+
+
+def make_eig_decision_rule(
+    t: int, default: Value, alphabet: Optional[Sequence[Value]] = None
+) -> Callable[[Any, int, ProcessId], Value]:
+    """A ``DecisionRule`` that fires at simulated round ``t + 1``."""
+
+    def rule(state: Any, simulated_round: int, process_id: ProcessId) -> Value:
+        if simulated_round < t + 1:
+            return BOTTOM
+        if isinstance(state, tuple):
+            n = len(state)
+        else:
+            return BOTTOM
+        return eig_byzantine_decision(
+            state, n, t, process_id, default=default, alphabet=alphabet
+        )
+
+    return rule

@@ -1,0 +1,88 @@
+"""The exponential-information-gathering (EIG) view of a state.
+
+A full-information state after ``r`` rounds is a depth-``r`` value
+array.  Read as a tree, the path ``(q_1, ..., q_k)`` from the root
+means: "``q_1`` said (in the newest round) that ``q_2`` said (one
+round earlier) that ... that ``q_k`` said ...".  Paths therefore run
+in *reverse chronological* order: the first component is the most
+recent relayer, the last is the claim's origin.
+
+Classic EIG presentations label nodes with *chronological* relay
+chains (source first).  :class:`EIGView` exposes both addressings: raw
+array paths, and ``val(sigma)`` for chronological chains, including
+the chains a processor itself observed in earlier rounds (recoverable
+through its self-components — the paper notes a processor "can send
+any required information in a message to itself").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence, Tuple
+
+from repro.arrays.value_array import array_depth, iter_paths, leaf_at
+from repro.errors import ProtocolViolation
+from repro.types import ProcessId
+
+Chain = Tuple[ProcessId, ...]
+
+
+class EIGView:
+    """Read-only tree view over one processor's full-information state."""
+
+    def __init__(self, state: Any, n: int, owner: ProcessId):
+        self.state = state
+        self.n = n
+        self.owner = owner
+        self.depth = array_depth(state, n)
+
+    # -- raw array addressing ------------------------------------------------
+
+    def subtree(self, path: Chain) -> Any:
+        """The sub-array at a reverse-chronological ``path``."""
+        return leaf_at(self.state, path)
+
+    def leaf(self, path: Chain) -> Any:
+        """The scalar at a full-length ``path``."""
+        if len(path) != self.depth:
+            raise ProtocolViolation(
+                f"leaf path must have length {self.depth}, got {len(path)}"
+            )
+        return leaf_at(self.state, path)
+
+    def leaves(self) -> Iterator[Tuple[Chain, Any]]:
+        """All (path, leaf) pairs — ``n ** depth`` of them."""
+        for path in iter_paths(self.n, self.depth):
+            yield path, leaf_at(self.state, path)
+
+    # -- chronological chain addressing ---------------------------------------
+
+    def val(self, sigma: Sequence[ProcessId]) -> Any:
+        """The value of chronological relay chain ``sigma``.
+
+        ``sigma = (i_1, ..., i_k)`` reads "``i_1``'s round-1 claim as
+        relayed by ``i_2`` at round 2, ..., by ``i_k`` at round k".
+        For ``k < depth`` the value is what the owner itself received
+        at round ``k``, recovered through the owner's
+        ``depth - k`` self-components.
+        """
+        sigma = tuple(sigma)
+        if not 1 <= len(sigma) <= self.depth:
+            raise ProtocolViolation(
+                f"chain length must be in 1..{self.depth}, got {len(sigma)}"
+            )
+        padding = (self.owner,) * (self.depth - len(sigma))
+        path = padding + tuple(reversed(sigma))
+        return leaf_at(self.state, path)
+
+    def distinct_chains(self, length: int) -> Iterator[Chain]:
+        """All chronological chains of ``length`` with distinct labels."""
+
+        def extend(prefix: Chain) -> Iterator[Chain]:
+            if len(prefix) == length:
+                yield prefix
+                return
+            for process_id in range(1, self.n + 1):
+                if process_id not in prefix:
+                    yield from extend(prefix + (process_id,))
+
+        yield from extend(())

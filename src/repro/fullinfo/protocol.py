@@ -1,0 +1,178 @@
+"""Protocol 1: the full-information protocol.
+
+::
+
+    Initialization for processor p:
+        STATE <- the initial value of processor p
+    Code for processor p in round r:
+        1. broadcast STATE
+        2. receive MSG_q from processor q for 1 <= q <= n
+        3. STATE <- (MSG_1, ..., MSG_n)
+
+A correct round-``r`` message is a depth-``r - 1`` value array.  A
+malformed or absent message from a (necessarily faulty) sender is
+replaced by the receiver's *own previous state*, which always has the
+right shape — the legitimacy of this substitution is exactly what
+Theorem 9's Case 3 argues (any well-shaped value array is a message
+the faulty processor could have sent).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.arrays.encoding import MessageSizer
+from repro.arrays.value_array import validate_array
+from repro.core.automaton import AutomatonProtocol
+from repro.runtime.node import Process, broadcast
+from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value
+
+# A decision rule examines (state, simulated_round, process_id) and
+# returns a value or BOTTOM.
+DecisionRule = Callable[[Any, int, ProcessId], Value]
+
+
+class FullInformationProcess(Process):
+    """One processor of Protocol 1 on the synchronous runtime."""
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        input_value: Value,
+        value_alphabet: Sequence[Value],
+        decision_rule: Optional[DecisionRule] = None,
+        horizon: Optional[int] = None,
+    ):
+        """
+        Parameters
+        ----------
+        value_alphabet:
+            The legal inputs ``V``; received leaves outside it mark a
+            message as malformed.
+        decision_rule:
+            Called after each round with the new state; first
+            non-bottom result is decided.  ``None`` runs the exchange
+            with no decisions (pure state-building, e.g. under a
+            simulation checker).
+        horizon:
+            If given, the rule is only consulted from this round on
+            (saves exponential decision work in earlier rounds).
+        """
+        super().__init__(process_id, config)
+        self.state: Any = input_value
+        self._alphabet = frozenset(value_alphabet)
+        self._decision_rule = decision_rule
+        self._horizon = horizon
+        self.rounds_completed = 0
+
+    def outgoing(self, round_number: Round) -> Dict[ProcessId, Any]:
+        return broadcast(self.state, self.config)
+
+    def receive(self, round_number: Round, incoming: Dict[ProcessId, Any]) -> None:
+        expected_depth = round_number - 1
+        components = []
+        for sender in self.config.process_ids:
+            message = incoming[sender]
+            if not self._is_legal_message(message, expected_depth):
+                message = self.state  # own previous state: right shape
+            components.append(message)
+        self.state = tuple(components)
+        self.rounds_completed = round_number
+        self._maybe_decide(round_number)
+
+    def _is_legal_message(self, message: Any, expected_depth: int) -> bool:
+        if message is BOTTOM:
+            return False
+        return validate_array(
+            message,
+            self.config.n,
+            depth=expected_depth,
+            leaf_ok=self._leaf_ok,
+        )
+
+    def _leaf_ok(self, leaf: Any) -> bool:
+        try:
+            return leaf in self._alphabet
+        except TypeError:  # unhashable junk from a Byzantine sender
+            return False
+
+    def _maybe_decide(self, round_number: Round) -> None:
+        if self.has_decided() or self._decision_rule is None:
+            return
+        if self._horizon is not None and round_number < self._horizon:
+            return
+        value = self._decision_rule(self.state, round_number, self.process_id)
+        if value is not BOTTOM:
+            self.decide(value, round_number)
+
+    def snapshot(self) -> Any:
+        return {"state": self.state, "decision": self.decision}
+
+
+def full_information_factory(
+    value_alphabet: Sequence[Value],
+    decision_rule: Optional[DecisionRule] = None,
+    horizon: Optional[int] = None,
+):
+    """A run_protocol factory for Protocol 1."""
+
+    def factory(
+        process_id: ProcessId, config: SystemConfig, input_value: Value
+    ) -> FullInformationProcess:
+        return FullInformationProcess(
+            process_id,
+            config,
+            input_value,
+            value_alphabet=value_alphabet,
+            decision_rule=decision_rule,
+            horizon=horizon,
+        )
+
+    return factory
+
+
+def full_information_sizer(value_alphabet_size: int, n: int) -> Callable[[Any], int]:
+    """Exact bit measure for Protocol 1 traffic (all leaves are values)."""
+    sizer = MessageSizer(value_alphabet_size, n)
+    return sizer.measure_value_array
+
+
+class FullInformationAutomaton(AutomatonProtocol):
+    """Protocol 1 in the Section 3.1 automaton formalism.
+
+    Used by the Theorem 2 tests: the identity scaling function and the
+    recursive ``f_p`` of :func:`repro.fullinfo.decision.reconstruct_state`
+    witness that this protocol simulates any consensus protocol.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        input_values: Sequence[Value],
+        decision_rule: Optional[DecisionRule] = None,
+        horizon: Optional[int] = None,
+    ):
+        super().__init__(config, input_values)
+        self._decision_rule = decision_rule
+        self._horizon = horizon
+        self._rounds_seen: Dict[int, int] = {}
+
+    def message(self, sender: ProcessId, receiver: ProcessId, state: Any) -> Any:
+        return state  # broadcast the entire state
+
+    def transition(self, process_id: ProcessId, messages: Tuple[Any, ...]) -> Any:
+        return tuple(messages)
+
+    def decision(self, process_id: ProcessId, state: Any) -> Value:
+        if self._decision_rule is None:
+            return BOTTOM
+        from repro.arrays.value_array import array_depth
+
+        try:
+            depth = array_depth(state, self.config.n)
+        except Exception:
+            return BOTTOM
+        if self._horizon is not None and depth < self._horizon:
+            return BOTTOM
+        return self._decision_rule(state, depth, process_id)

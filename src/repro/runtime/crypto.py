@@ -1,0 +1,84 @@
+"""An idealised signature scheme for the authenticated fault model.
+
+The paper's introduction lists "authenticated Byzantine" among the
+fault models its framework covers.  In that model processors can sign
+messages unforgeably; a faulty processor may sign anything *as
+itself* but can never fabricate a correct processor's signature.
+
+Inside a single-process simulation, unforgeability can be *ideal*
+rather than cryptographic: the :class:`SignatureOracle` records every
+signature it issues, and verification checks membership by object
+identity.  A Byzantine strategy fabricating a look-alike object fails
+verification because its object was never issued.  Faulty processors
+get signing power over their own identities only, through
+:meth:`SignatureOracle.handle_for`, which refuses to sign for anyone
+else (raising :class:`repro.errors.AdversaryError`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Set
+
+from repro.errors import AdversaryError
+from repro.types import ProcessId
+
+
+class Signature:
+    """One issued signature: an unforgeable-by-identity token."""
+
+    __slots__ = ("signer", "payload")
+
+    def __init__(self, signer: ProcessId, payload: Any):
+        self.signer = signer
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"Signature(by={self.signer}, payload={self.payload!r})"
+
+
+class SignatureOracle:
+    """Issues and verifies signatures; the system's trusted root."""
+
+    def __init__(self) -> None:
+        self._issued: Set[int] = set()
+        self._alive: list = []  # keep issued tokens alive so ids stay unique
+
+    def sign(self, signer: ProcessId, payload: Any) -> Signature:
+        """Issue a signature of ``payload`` by ``signer``."""
+        signature = Signature(signer, payload)
+        self._issued.add(id(signature))
+        self._alive.append(signature)
+        return signature
+
+    def verify(self, signature: Any, signer: ProcessId, payload: Any) -> bool:
+        """Whether ``signature`` is a genuine ``signer`` signature of
+        ``payload``.  Fabricated objects fail the identity check even
+        if they imitate the attributes."""
+        return (
+            isinstance(signature, Signature)
+            and id(signature) in self._issued
+            and signature.signer == signer
+            and signature.payload == payload
+        )
+
+    def handle_for(self, allowed: Iterable[ProcessId]) -> "SigningHandle":
+        """A restricted handle that signs only for ``allowed`` ids."""
+        return SigningHandle(self, frozenset(allowed))
+
+
+class SigningHandle:
+    """Signing power over a fixed identity set (what an adversary gets)."""
+
+    def __init__(self, oracle: SignatureOracle, allowed: FrozenSet[ProcessId]):
+        self._oracle = oracle
+        self.allowed = allowed
+
+    def sign(self, signer: ProcessId, payload: Any) -> Signature:
+        if signer not in self.allowed:
+            raise AdversaryError(
+                f"handle for {sorted(self.allowed)} cannot sign as {signer}"
+            )
+        return self._oracle.sign(signer, payload)
+
+    def verify(self, signature: Any, signer: ProcessId, payload: Any) -> bool:
+        return self._oracle.verify(signature, signer, payload)

@@ -1,0 +1,30 @@
+"""Message envelopes.
+
+Protocol code deals in bare payloads; the network wraps each payload in
+an :class:`Envelope` carrying its origin, destination, and round — the
+same bookkeeping the paper attaches to the message set ``M`` of an
+execution ``(k, F, I, M)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.types import ProcessId, Round
+
+
+@dataclasses.dataclass(frozen=True)
+class Envelope:
+    """One message in flight: payload plus origin/destination/round."""
+
+    sender: ProcessId
+    receiver: ProcessId
+    round_number: Round
+    payload: Any
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope(r{self.round_number} {self.sender}->{self.receiver}: "
+            f"{self.payload!r})"
+        )

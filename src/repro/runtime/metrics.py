@@ -1,0 +1,127 @@
+"""Per-round, per-link communication meters.
+
+The paper's headline quantity is *message bits*.  The meter records,
+for every round:
+
+* messages sent and their measured bit sizes (via a protocol-supplied
+  sizer, see :class:`repro.arrays.encoding.MessageSizer`),
+* how many of those messages were *non-null* — the unit the avalanche
+  coding convention of Section 4 bounds ("each correct processor sends
+  at most 3 non-null messages in any execution").
+
+By default only traffic of **correct** processors is metered: the
+paper's bounds quantify the protocol's cost, and a Byzantine processor
+can send arbitrarily large garbage that says nothing about the
+protocol.  Adversary traffic can be included for diagnostics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.types import ProcessId, Round
+
+
+@dataclasses.dataclass
+class RoundUsage:
+    """Aggregated communication in one round."""
+
+    messages: int = 0
+    non_null_messages: int = 0
+    bits: int = 0
+
+    def add(self, bits: int, non_null: bool) -> None:
+        self.messages += 1
+        self.bits += bits
+        if non_null:
+            self.non_null_messages += 1
+
+
+class MessageMetrics:
+    """Accumulates communication usage across an execution."""
+
+    def __init__(self) -> None:
+        self._per_round: Dict[Round, RoundUsage] = defaultdict(RoundUsage)
+        self._per_sender: Dict[ProcessId, RoundUsage] = defaultdict(RoundUsage)
+        self._per_link: Dict[Tuple[ProcessId, ProcessId], RoundUsage] = defaultdict(
+            RoundUsage
+        )
+
+    def record(
+        self,
+        round_number: Round,
+        sender: ProcessId,
+        receiver: ProcessId,
+        bits: int,
+        non_null: bool = True,
+    ) -> None:
+        """Record one transmitted message."""
+        self._per_round[round_number].add(bits, non_null)
+        self._per_sender[sender].add(bits, non_null)
+        self._per_link[(sender, receiver)].add(bits, non_null)
+
+    # -- totals -----------------------------------------------------------
+
+    @property
+    def total_bits(self) -> int:
+        """Total measured bits across all rounds."""
+        return sum(usage.bits for usage in self._per_round.values())
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages, null messages included."""
+        return sum(usage.messages for usage in self._per_round.values())
+
+    @property
+    def total_non_null_messages(self) -> int:
+        """Total non-null messages (the coding-convention unit)."""
+        return sum(usage.non_null_messages for usage in self._per_round.values())
+
+    @property
+    def rounds_used(self) -> int:
+        """Highest round number with any recorded traffic."""
+        return max(self._per_round, default=0)
+
+    # -- breakdowns -------------------------------------------------------
+
+    def round_usage(self, round_number: Round) -> RoundUsage:
+        """Usage within one round (zeroes if no traffic was recorded)."""
+        return self._per_round.get(round_number, RoundUsage())
+
+    def sender_usage(self, sender: ProcessId) -> RoundUsage:
+        """Usage attributed to one sending processor."""
+        return self._per_sender.get(sender, RoundUsage())
+
+    def non_null_by_sender(self) -> Dict[ProcessId, int]:
+        """Non-null message count per sender — Section 4's bound."""
+        return {
+            sender: usage.non_null_messages
+            for sender, usage in self._per_sender.items()
+        }
+
+    def bits_by_round(self) -> List[Tuple[Round, int]]:
+        """(round, bits) pairs in round order."""
+        return sorted(
+            (round_number, usage.bits)
+            for round_number, usage in self._per_round.items()
+        )
+
+    def merge(self, other: "MessageMetrics") -> None:
+        """Fold another meter's records into this one."""
+        for round_number, usage in other._per_round.items():
+            target = self._per_round[round_number]
+            target.messages += usage.messages
+            target.non_null_messages += usage.non_null_messages
+            target.bits += usage.bits
+        for sender, usage in other._per_sender.items():
+            target = self._per_sender[sender]
+            target.messages += usage.messages
+            target.non_null_messages += usage.non_null_messages
+            target.bits += usage.bits
+        for link, usage in other._per_link.items():
+            target = self._per_link[link]
+            target.messages += usage.messages
+            target.non_null_messages += usage.non_null_messages
+            target.bits += usage.bits

@@ -1,0 +1,162 @@
+"""The synchronous fully connected reliable network (Section 2).
+
+One :meth:`SynchronousNetwork.run_round` call performs the paper's
+round structure exactly:
+
+1. **send** — every correct processor's :meth:`outgoing` is collected;
+2. the adversary, seeing all of that correct traffic (rushing), fixes
+   the faulty processors' messages;
+3. **receive / state change** — every correct processor's
+   :meth:`receive` is invoked with one entry per processor id.
+
+Reliability and synchrony mean a correct processor's message is always
+delivered within the round; an omitted or malformed faulty message is
+delivered as :data:`BOTTOM`, which the recipient can detect (and the
+paper's protocols do: "a single message that contains more than one
+value is obviously erroneous and is discarded immediately").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.adversary.base import Adversary, RoundContext
+from repro.runtime.message import Envelope
+from repro.runtime.metrics import MessageMetrics
+from repro.runtime.node import Process
+from repro.runtime.trace import ExecutionTrace
+from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value, is_bottom
+
+
+def _default_sizer(message: Any) -> int:
+    """Fallback message measure: 8 bits per scalar leaf, 2 per node.
+
+    Protocols that make bit-level claims supply an exact sizer built
+    from :class:`repro.arrays.encoding.MessageSizer`; this fallback
+    keeps metrics meaningful for quick experiments.
+    """
+    if is_bottom(message):
+        return 0
+    if isinstance(message, tuple):
+        return 2 + sum(_default_sizer(component) for component in message)
+    return 8
+
+
+class SynchronousNetwork:
+    """Drives rounds over a set of correct processes plus an adversary."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        processes: Mapping[ProcessId, Process],
+        adversary: Adversary,
+        inputs: Mapping[ProcessId, Value],
+        sizer: Optional[Callable[[Any], int]] = None,
+        is_null: Optional[Callable[[Any], bool]] = None,
+        metrics: Optional[MessageMetrics] = None,
+        trace: Optional[ExecutionTrace] = None,
+        meter_adversary: bool = False,
+    ):
+        overlap = set(processes) & set(adversary.faulty_ids)
+        if overlap:
+            raise ValueError(
+                f"processors {sorted(overlap)} are both correct and faulty"
+            )
+        expected = set(config.process_ids)
+        provided = set(processes) | set(adversary.faulty_ids)
+        if provided != expected:
+            raise ValueError(
+                f"processes+faulty must cover 1..{config.n}; "
+                f"missing {sorted(expected - provided)}"
+            )
+        self.config = config
+        self.processes = dict(processes)
+        self.adversary = adversary
+        self.inputs = dict(inputs)
+        self.sizer = sizer or _default_sizer
+        self.is_null = is_null or is_bottom
+        self.metrics = metrics if metrics is not None else MessageMetrics()
+        self.trace = trace
+        self.meter_adversary = meter_adversary
+        self.round_number: Round = 0
+
+    def run_round(self) -> Round:
+        """Execute one full round; returns its (1-based) number."""
+        self.round_number += 1
+        round_number = self.round_number
+
+        # 1. Correct processors send.
+        correct_outgoing: Dict[ProcessId, Dict[ProcessId, Any]] = {}
+        for process_id, process in self.processes.items():
+            correct_outgoing[process_id] = dict(process.outgoing(round_number))
+
+        # 2. The adversary, having seen that traffic, fixes faulty messages.
+        context = RoundContext(
+            config=self.config,
+            round_number=round_number,
+            correct_outgoing=correct_outgoing,
+            processes=self.processes,
+            inputs=self.inputs,
+        )
+        faulty_outgoing: Dict[ProcessId, Dict[ProcessId, Any]] = {}
+        for sender in sorted(self.adversary.faulty_ids):
+            faulty_outgoing[sender] = dict(
+                self.adversary.outgoing(round_number, sender, context)
+            )
+
+        # 3. Deliver and meter; then each correct processor's state change.
+        incoming_by_receiver: Dict[ProcessId, Dict[ProcessId, Any]] = {
+            receiver: {} for receiver in self.processes
+        }
+        for sender, per_receiver in correct_outgoing.items():
+            self._deliver(round_number, sender, per_receiver,
+                          incoming_by_receiver, metered=True)
+        for sender, per_receiver in faulty_outgoing.items():
+            self._deliver(round_number, sender, per_receiver,
+                          incoming_by_receiver, metered=self.meter_adversary)
+
+        self.adversary.observe_round(round_number, context, faulty_outgoing)
+
+        for receiver, process in self.processes.items():
+            incoming = incoming_by_receiver[receiver]
+            # Every processor id appears exactly once in the map.
+            for sender in self.config.process_ids:
+                incoming.setdefault(sender, BOTTOM)
+            process.receive(round_number, incoming)
+            if self.trace is not None:
+                self.trace.record_snapshot(
+                    round_number, receiver, process.snapshot()
+                )
+        return round_number
+
+    def _deliver(
+        self,
+        round_number: Round,
+        sender: ProcessId,
+        per_receiver: Dict[ProcessId, Any],
+        incoming_by_receiver: Dict[ProcessId, Dict[ProcessId, Any]],
+        metered: bool,
+    ) -> None:
+        for receiver, payload in per_receiver.items():
+            if receiver not in incoming_by_receiver:
+                # Destination is faulty: messages from anyone to faulty
+                # processors "do not matter" (Theorem 9) — drop them,
+                # but still meter correct senders' cost.
+                if metered and not is_bottom(payload):
+                    self.metrics.record(
+                        round_number, sender, receiver,
+                        bits=self.sizer(payload),
+                        non_null=not self.is_null(payload),
+                    )
+                continue
+            incoming_by_receiver[receiver][sender] = payload
+            if metered and not is_bottom(payload):
+                self.metrics.record(
+                    round_number, sender, receiver,
+                    bits=self.sizer(payload),
+                    non_null=not self.is_null(payload),
+                )
+            if self.trace is not None and not is_bottom(payload):
+                self.trace.record_envelope(
+                    Envelope(sender, receiver, round_number, payload)
+                )

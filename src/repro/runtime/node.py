@@ -1,0 +1,110 @@
+"""The process harness protocols implement.
+
+A round of any protocol consists of three components performed in
+order: sending messages, receiving messages, and a local state change
+(Section 3.1).  A :class:`Process` exposes exactly that structure:
+
+* :meth:`Process.outgoing` is called first each round and returns the
+  messages to send,
+* :meth:`Process.receive` is called after delivery with the full
+  incoming map and performs the local state change.
+
+Decisions are irrevocable, as the problem statements require: once
+:meth:`Process.decide` has been called, a second call with a different
+value raises :class:`repro.errors.DecisionError`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Optional
+
+from repro.errors import DecisionError
+from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value, is_bottom
+
+
+def broadcast(message: Any, config: SystemConfig) -> Dict[ProcessId, Any]:
+    """Send the same ``message`` to every processor (including self).
+
+    The paper's protocols broadcast to all ``n`` processors, self
+    included — a processor "can send any required information in a
+    message to itself" (Section 3.1).
+    """
+    return {process_id: message for process_id in config.process_ids}
+
+
+class Process(abc.ABC):
+    """Base class for one correct processor's protocol logic.
+
+    Subclasses implement :meth:`outgoing` and :meth:`receive`.  The
+    engine guarantees that for every round ``r`` it calls
+    ``outgoing(r)`` exactly once, then ``receive(r, incoming)`` exactly
+    once, with ``incoming`` holding one entry per processor id (absent
+    or malformed transmissions appear as :data:`BOTTOM`).
+    """
+
+    def __init__(self, process_id: ProcessId, config: SystemConfig):
+        self.process_id = process_id
+        self.config = config
+        self._decision: Value = BOTTOM
+        self._decision_round: Optional[Round] = None
+
+    # -- round structure ------------------------------------------------
+
+    @abc.abstractmethod
+    def outgoing(self, round_number: Round) -> Dict[ProcessId, Any]:
+        """Messages to send this round, keyed by destination.
+
+        Destinations omitted from the map receive :data:`BOTTOM`.
+        """
+
+    @abc.abstractmethod
+    def receive(self, round_number: Round, incoming: Dict[ProcessId, Any]) -> None:
+        """Local state change, given this round's received messages."""
+
+    # -- decisions --------------------------------------------------------
+
+    def decide(self, value: Value, round_number: Round) -> None:
+        """Irrevocably decide ``value``.
+
+        Idempotent for the same value; raises :class:`DecisionError`
+        on any attempt to change an existing decision, and on an
+        attempt to decide :data:`BOTTOM`.
+        """
+        if is_bottom(value):
+            raise DecisionError(
+                f"processor {self.process_id} attempted to decide BOTTOM"
+            )
+        if self.has_decided():
+            if self._decision != value:
+                raise DecisionError(
+                    f"processor {self.process_id} attempted to change its "
+                    f"decision from {self._decision!r} to {value!r}"
+                )
+            return
+        self._decision = value
+        self._decision_round = round_number
+
+    def has_decided(self) -> bool:
+        """Whether this processor has irrevocably decided."""
+        return not is_bottom(self._decision)
+
+    @property
+    def decision(self) -> Value:
+        """The decided value, or :data:`BOTTOM` if undecided."""
+        return self._decision
+
+    @property
+    def decision_round(self) -> Optional[Round]:
+        """The round in which the decision was made, or ``None``."""
+        return self._decision_round
+
+    # -- introspection ----------------------------------------------------
+
+    def snapshot(self) -> Any:
+        """A representation of local state for traces and checkers.
+
+        Protocols that participate in simulation checking override
+        this; the default exposes only the decision status.
+        """
+        return {"decision": self._decision}

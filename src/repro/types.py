@@ -1,0 +1,107 @@
+"""Shared type aliases and small value types used across the library.
+
+The paper (Coan, PODC 1986) models a synchronous system of ``n``
+processors, numbered ``1..n``, of which at most ``t`` may be faulty.
+We keep the paper's 1-based processor numbering throughout the public
+API so that code can be read side by side with the paper; ranges over
+processors are always ``range(1, n + 1)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, FrozenSet, Hashable, Tuple
+
+# A processor identifier.  The paper numbers processors 1..n.
+ProcessId = int
+
+# A round number.  Rounds are 1-based: the first round of a protocol is
+# round 1, matching the paper.  Round 0 denotes "before the protocol
+# starts" where that distinction matters (e.g. initial states).
+Round = int
+
+# An input/decision value.  The paper only requires a finite set V of
+# legal inputs; we require hashability so values can be counted, used as
+# dictionary keys, and compared for equality in vote tallies.
+Value = Hashable
+
+# The paper's "bottom" (no value / undecided / no input).  ``None`` is
+# deliberately NOT used for this so that protocols may legitimately
+# carry ``None`` payloads without colliding with "absent".
+class _Bottom:
+    """The unique "no value" marker (the paper's bottom element).
+
+    A singleton: every module compares against :data:`BOTTOM` with
+    ``is``.  It is falsy, hashable and has a stable repr so it can
+    appear inside message tuples and test output.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "BOTTOM"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        # Pickle back to the singleton, preserving ``is`` identity.
+        return (_Bottom, ())
+
+
+BOTTOM = _Bottom()
+
+
+def is_bottom(value: Any) -> bool:
+    """Return ``True`` if ``value`` is the bottom (absent) marker."""
+    return value is BOTTOM
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemConfig:
+    """Static parameters of a synchronous system.
+
+    Parameters
+    ----------
+    n:
+        Total number of processors.
+    t:
+        Upper bound on the number of faulty processors the protocol
+        must tolerate.
+    """
+
+    n: int
+    t: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if self.t < 0:
+            raise ValueError(f"t must be non-negative, got {self.t}")
+        if self.t >= self.n:
+            raise ValueError(
+                f"t must be smaller than n, got n={self.n}, t={self.t}"
+            )
+
+    @property
+    def process_ids(self) -> Tuple[ProcessId, ...]:
+        """All processor ids, 1-based as in the paper."""
+        return tuple(range(1, self.n + 1))
+
+    def requires_byzantine_quorum(self) -> bool:
+        """Whether ``n >= 3t + 1`` (the Byzantine agreement threshold)."""
+        return self.n >= 3 * self.t + 1
+
+    def requires_fast_quorum(self) -> bool:
+        """Whether ``n >= 4t + 1`` (the fast avalanche-variant threshold)."""
+        return self.n >= 4 * self.t + 1
+
+
+# A set of faulty processors, as recorded in an execution tuple
+# (k, F, I, M) from Section 3.1 of the paper.
+FaultSet = FrozenSet[ProcessId]

@@ -1,0 +1,47 @@
+"""Tests for the lower-bound formulas and their relation to protocols."""
+
+import pytest
+
+from repro.agreement.lower_bounds import (
+    min_processors_for_agreement,
+    min_processors_for_fast_avalanche,
+    min_rounds_for_agreement,
+)
+from repro.compact.byzantine_agreement import compact_ba_rounds
+from repro.errors import ConfigurationError
+
+
+class TestFormulas:
+    def test_rounds(self):
+        assert min_rounds_for_agreement(0) == 1
+        assert min_rounds_for_agreement(3) == 4
+
+    def test_processors(self):
+        assert min_processors_for_agreement(2) == 7
+        assert min_processors_for_fast_avalanche(2) == 9
+
+    def test_negative_t_rejected(self):
+        for formula in (
+            min_rounds_for_agreement,
+            min_processors_for_agreement,
+            min_processors_for_fast_avalanche,
+        ):
+            with pytest.raises(ConfigurationError):
+                formula(-1)
+
+
+class TestProtocolsRespectBounds:
+    def test_compact_rounds_never_beat_the_bound(self):
+        for t in range(1, 8):
+            for k in range(1, 8):
+                assert compact_ba_rounds(t, k) >= min_rounds_for_agreement(t)
+
+    def test_compact_approaches_the_bound_as_k_grows(self):
+        """With k >= t + 1 the compact protocol hits exactly t + 1
+        rounds — the abstract's 'factor arbitrarily close to 1'."""
+        for t in range(1, 6):
+            assert compact_ba_rounds(t, k=t + 1) == min_rounds_for_agreement(t)
+
+    def test_exponential_baseline_is_optimal_in_rounds(self):
+        for t in range(1, 6):
+            assert t + 1 == min_rounds_for_agreement(t)

@@ -1,0 +1,106 @@
+"""Tests for Phase King and Phase Queen."""
+
+import pytest
+
+from repro.agreement.phase_king import (
+    phase_king_factory,
+    phase_king_rounds,
+    phase_queen_factory,
+    phase_queen_rounds,
+)
+from repro.errors import ConfigurationError
+from repro.runtime.engine import run_protocol
+from repro.types import SystemConfig
+
+from tests.conftest import assert_agreement_and_validity, byzantine_adversaries
+
+
+def run_king(config, inputs, adversary=None, seed=0):
+    return run_protocol(
+        phase_king_factory(),
+        config,
+        inputs,
+        adversary=adversary,
+        max_rounds=phase_king_rounds(config.t) + 1,
+        seed=seed,
+    )
+
+
+def run_queen(config, inputs, adversary=None, seed=0):
+    return run_protocol(
+        phase_queen_factory(),
+        config,
+        inputs,
+        adversary=adversary,
+        max_rounds=phase_queen_rounds(config.t) + 1,
+        seed=seed,
+    )
+
+
+class TestPhaseKing:
+    @pytest.mark.parametrize("pattern", [0, 1])
+    @pytest.mark.parametrize("faulty", [(1, 2), (3, 4), (6, 7)])
+    def test_sweep(self, config7, pattern, faulty):
+        inputs = {p: (p + pattern) % 2 for p in config7.process_ids}
+        for adversary in byzantine_adversaries(list(faulty)):
+            result = run_king(config7, inputs, adversary=adversary)
+            assert_agreement_and_validity(result, inputs)
+
+    def test_faulty_kings_every_phase_but_one(self, config7):
+        """Faulty ids 1 and 2 are kings of phases 1 and 2; only the
+        final phase has a correct king — the worst case."""
+        from repro.adversary import EquivocatingAdversary
+
+        inputs = {p: p % 2 for p in config7.process_ids}
+        result = run_king(
+            config7, inputs, adversary=EquivocatingAdversary([1, 2], 0, 1)
+        )
+        assert_agreement_and_validity(result, inputs)
+
+    def test_round_count(self, config7):
+        inputs = {p: p % 2 for p in config7.process_ids}
+        result = run_king(config7, inputs)
+        assert result.rounds == 3 * (config7.t + 1)
+
+    def test_requires_3t_plus_1(self):
+        config = SystemConfig(n=6, t=2)
+        with pytest.raises(ConfigurationError):
+            run_king(config, {p: 0 for p in config.process_ids})
+
+    def test_binary_only(self, config7):
+        with pytest.raises(ConfigurationError):
+            run_king(config7, {p: "x" for p in config7.process_ids})
+
+
+class TestPhaseQueen:
+    @pytest.mark.parametrize("pattern", [0, 1])
+    @pytest.mark.parametrize("faulty", [(1, 2), (5, 9)])
+    def test_sweep(self, config9, pattern, faulty):
+        inputs = {p: (p + pattern) % 2 for p in config9.process_ids}
+        for adversary in byzantine_adversaries(list(faulty)):
+            result = run_queen(config9, inputs, adversary=adversary)
+            assert_agreement_and_validity(result, inputs)
+
+    def test_round_count(self, config9):
+        inputs = {p: p % 2 for p in config9.process_ids}
+        result = run_queen(config9, inputs)
+        assert result.rounds == 2 * (config9.t + 1)
+
+    def test_requires_4t_plus_1(self, config7):
+        with pytest.raises(ConfigurationError):
+            run_queen(config7, {p: 0 for p in config7.process_ids})
+
+    def test_faulty_queens_first(self, config9):
+        from repro.adversary import EquivocatingAdversary
+
+        inputs = {p: p % 2 for p in config9.process_ids}
+        result = run_queen(
+            config9, inputs, adversary=EquivocatingAdversary([1, 2], 0, 1)
+        )
+        assert_agreement_and_validity(result, inputs)
+
+    def test_persistence_of_unanimity(self, config9):
+        inputs = {p: 1 for p in config9.process_ids}
+        for adversary in byzantine_adversaries([1, 2]):
+            result = run_queen(config9, inputs, adversary=adversary)
+            assert result.decided_values() == {1}

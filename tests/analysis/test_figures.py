@@ -1,0 +1,72 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.figures import ascii_chart, crossover_chart
+from repro.errors import ConfigurationError
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        chart = ascii_chart(
+            {"a": [(1, 10), (2, 100)], "b": [(1, 20), (2, 40)]},
+            title="T",
+            x_label="t",
+            y_label="bits",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "* a" in lines[1] and "o b" in lines[1]
+        assert "log scale" in lines[2]
+        assert any("*" in line for line in lines)
+        assert any("o" in line for line in lines)
+
+    def test_linear_scale(self):
+        chart = ascii_chart(
+            {"a": [(0, 0), (1, 5)]}, log_y=False, y_label="count"
+        )
+        assert "log scale" not in chart
+        assert "count" in chart
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": [(1, 0)]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": []})
+
+    def test_single_point_does_not_divide_by_zero(self):
+        chart = ascii_chart({"a": [(1, 10)]})
+        assert "*" in chart
+
+    def test_markers_cycle_over_many_series(self):
+        series = {f"s{i}": [(1, 10 + i)] for i in range(9)}
+        chart = ascii_chart(series)
+        assert "s8" in chart
+
+    def test_axis_extents_shown(self):
+        chart = ascii_chart({"a": [(3, 10), (7, 100)]}, x_label="t")
+        assert "3" in chart.splitlines()[-2]
+        assert "7" in chart.splitlines()[-2]
+
+
+class TestCrossoverChart:
+    def test_renders_both_series(self):
+        chart = crossover_chart(max_t=5)
+        assert "exponential EIG" in chart
+        assert "compact k=1" in chart
+        assert "Figure R1" in chart
+
+    def test_eig_tops_the_chart(self):
+        """The highest plotted row belongs to the exponential series."""
+        chart = crossover_chart(max_t=7)
+        plot_lines = [
+            line for line in chart.splitlines() if "|" in line
+        ]
+        top_row = next(
+            line for line in plot_lines if "*" in line or "o" in line
+        )
+        assert "*" in top_row and "o" not in top_row

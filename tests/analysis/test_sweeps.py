@@ -1,0 +1,84 @@
+"""Tests for the sweep harness, driving the compact protocol at scale."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    SweepReport,
+    standard_adversary_makers,
+    sweep,
+)
+from repro.compact.byzantine_agreement import (
+    compact_ba_factory,
+    compact_ba_rounds,
+)
+from repro.compact.payload import compact_sizer, payload_is_null
+from repro.core.predicates import byzantine_agreement_predicate
+from repro.types import SystemConfig
+
+
+@pytest.fixture
+def report(config4):
+    factory = compact_ba_factory(config4, [0, 1], default=0, k=1)
+    return sweep(
+        factory,
+        config4,
+        input_patterns=[
+            {p: p % 2 for p in config4.process_ids},
+            {p: 1 for p in config4.process_ids},
+        ],
+        fault_sets=[(1,), (4,)],
+        adversary_makers=standard_adversary_makers(),
+        seeds=(0, 1),
+        predicate=byzantine_agreement_predicate(),
+        max_rounds=compact_ba_rounds(config4.t, 1) + 1,
+        sizer=compact_sizer(config4, 2),
+        is_null=payload_is_null,
+    )
+
+
+class TestSweep:
+    def test_grid_size(self, report):
+        # 2 patterns x 2 fault sets x 6 adversaries x 2 seeds
+        assert report.executions == 48
+
+    def test_predicate_holds_everywhere(self, report):
+        assert report.all_hold(), [
+            outcome.describe() for outcome in report.violations
+        ]
+
+    def test_aggregates(self, report):
+        assert report.total_bits() > 0
+        assert report.max_rounds() == compact_ba_rounds(1, 1)
+
+    def test_outcome_description(self, report):
+        line = report.outcomes[0].describe()
+        assert "faulty=" in line and "adversary=" in line
+
+    def test_predicate_optional(self, config4):
+        factory = compact_ba_factory(config4, [0, 1], default=0, k=1)
+        report = sweep(
+            factory,
+            config4,
+            input_patterns=[{p: 0 for p in config4.process_ids}],
+            fault_sets=[(1,)],
+            adversary_makers=standard_adversary_makers()[:1],
+            max_rounds=compact_ba_rounds(config4.t, 1) + 1,
+        )
+        assert report.outcomes[0].predicate_holds is None
+        assert report.all_hold()  # no violations recorded
+
+    def test_violation_detection(self, config4):
+        """A predicate that always fails is reported as violations."""
+        factory = compact_ba_factory(config4, [0, 1], default=0, k=1)
+        report = sweep(
+            factory,
+            config4,
+            input_patterns=[{p: 0 for p in config4.process_ids}],
+            fault_sets=[(1,)],
+            adversary_makers=standard_adversary_makers()[:2],
+            predicate=lambda ans, faulty, inputs: False,
+            max_rounds=compact_ba_rounds(config4.t, 1) + 1,
+        )
+        assert not report.all_hold()
+        assert len(report.violations) == 2
+        assert "VIOLATION" in report.violations[0].describe()

@@ -1,0 +1,137 @@
+"""Tests for partial functions, extension, substitutivity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arrays.partial import (
+    PartialFunction,
+    compose,
+    identity,
+    is_extension,
+    substitutive_apply,
+    table_function,
+)
+from repro.types import BOTTOM, is_bottom
+
+
+class TestPartialFunction:
+    def test_bottom_propagates_without_calling(self):
+        calls = []
+
+        def record(value):
+            calls.append(value)
+            return value
+
+        function = PartialFunction(record)
+        assert is_bottom(function(BOTTOM))
+        assert calls == []
+
+    def test_identity_is_total(self):
+        function = identity()
+        assert function(42) == 42
+        assert function("x") == "x"
+
+    def test_defined_at(self):
+        function = table_function({1: "a"})
+        assert function.defined_at(1)
+        assert not function.defined_at(2)
+        assert not function.defined_at(BOTTOM)
+
+    def test_repr_carries_name(self):
+        assert "identity" in repr(identity())
+
+
+class TestTableFunction:
+    def test_lookup(self):
+        function = table_function({1: 10, 2: 20})
+        assert function(1) == 10
+        assert is_bottom(function(3))
+
+    def test_snapshot_semantics(self):
+        table = {1: 10}
+        function = table_function(table)
+        table[2] = 20  # later mutation must not leak in
+        assert is_bottom(function(2))
+
+
+class TestCompose:
+    def test_composition_order(self):
+        double = PartialFunction(lambda value: value * 2)
+        increment = PartialFunction(lambda value: value + 1)
+        assert compose(double, increment)(3) == 8  # double(inc(3))
+
+    def test_bottom_from_inner_short_circuits(self):
+        inner = table_function({})
+        outer_calls = []
+        outer = PartialFunction(lambda value: outer_calls.append(value))
+        assert is_bottom(compose(outer, inner)(5))
+        assert outer_calls == []
+
+    def test_bottom_from_outer(self):
+        inner = identity()
+        outer = table_function({})
+        assert is_bottom(compose(outer, inner)(5))
+
+
+class TestSubstitutiveApply:
+    def test_scalar(self):
+        assert substitutive_apply(lambda value: value + 1, 4) == 5
+
+    def test_distributes_over_structure(self):
+        array = ((1, 2), (3, 4))
+        assert substitutive_apply(lambda value: value * 2, array) == (
+            (2, 4),
+            (6, 8),
+        )
+
+    def test_one_undefined_leaf_poisons_everything(self):
+        function = table_function({1: "a", 2: "b", 3: "c"})
+        array = ((1, 2), (3, 99))
+        assert is_bottom(substitutive_apply(function, array))
+
+    def test_bottom_array_is_undefined(self):
+        assert is_bottom(substitutive_apply(lambda value: value, BOTTOM))
+
+    def test_short_circuits_on_first_undefined(self):
+        calls = []
+
+        def tracked(value):
+            calls.append(value)
+            return BOTTOM if value == 2 else value
+
+        substitutive_apply(tracked, (1, 2, 3))
+        assert calls == [1, 2]  # 3 never evaluated
+
+    @given(
+        st.tuples(
+            st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)
+        )
+    )
+    def test_substitutivity_property(self, array):
+        """f((a_1, ..., a_n)) == (f(a_1), ..., f(a_n)) on defined input."""
+        function = lambda value: value + 100  # noqa: E731
+        assert substitutive_apply(function, array) == tuple(
+            substitutive_apply(function, component) for component in array
+        )
+
+
+class TestExtension:
+    def test_extension_holds(self):
+        base = table_function({1: "a"})
+        extended = table_function({1: "a", 2: "b"})
+        assert is_extension(extended, base, domain=[1, 2, 3])
+
+    def test_extension_fails_on_conflict(self):
+        base = table_function({1: "a"})
+        conflicting = table_function({1: "z", 2: "b"})
+        assert not is_extension(conflicting, base, domain=[1, 2])
+
+    def test_every_function_extends_the_empty_one(self):
+        empty = table_function({})
+        anything = table_function({1: "a"})
+        assert is_extension(anything, empty, domain=range(10))
+
+    def test_extension_is_not_symmetric(self):
+        base = table_function({1: "a"})
+        extended = table_function({1: "a", 2: "b"})
+        assert not is_extension(base, extended, domain=[1, 2])

@@ -1,0 +1,116 @@
+"""Unit tests for the avalanche condition checkers themselves."""
+
+from repro.avalanche.conditions import (
+    check_avalanche_condition,
+    check_consensus_condition,
+    check_plausibility_condition,
+)
+from repro.types import BOTTOM
+
+
+class TestAvalancheCondition:
+    def test_clean_execution_passes(self):
+        decisions = {1: "v", 2: "v", 3: "v"}
+        rounds = {1: 3, 2: 3, 3: 4}
+        assert not check_avalanche_condition(decisions, rounds, [1, 2, 3], 6)
+
+    def test_disagreement_flagged(self):
+        decisions = {1: "v", 2: "w"}
+        rounds = {1: 3, 2: 3}
+        assert check_avalanche_condition(decisions, rounds, [1, 2], 6)
+
+    def test_late_decision_flagged(self):
+        decisions = {1: "v", 2: "v"}
+        rounds = {1: 3, 2: 5}
+        violations = check_avalanche_condition(decisions, rounds, [1, 2], 6)
+        assert any("deadline" in violation for violation in violations)
+
+    def test_never_deciding_flagged(self):
+        decisions = {1: "v", 2: BOTTOM}
+        rounds = {1: 3, 2: None}
+        violations = check_avalanche_condition(decisions, rounds, [1, 2], 6)
+        assert any("never decided" in violation for violation in violations)
+
+    def test_decision_at_cutoff_imposes_nothing(self):
+        decisions = {1: "v", 2: BOTTOM}
+        rounds = {1: 6, 2: None}
+        assert not check_avalanche_condition(decisions, rounds, [1, 2], 6)
+
+    def test_no_decisions_passes(self):
+        decisions = {1: BOTTOM, 2: BOTTOM}
+        rounds = {1: None, 2: None}
+        assert not check_avalanche_condition(decisions, rounds, [1, 2], 6)
+
+
+class TestConsensusCondition:
+    def test_unanimous_met(self):
+        decisions = {1: "v", 2: "v"}
+        rounds = {1: 2, 2: 2}
+        inputs = {1: "v", 2: "v"}
+        assert not check_consensus_condition(
+            decisions, rounds, inputs, [1, 2], rounds_run=4
+        )
+
+    def test_unanimous_too_slow_flagged(self):
+        decisions = {1: "v", 2: "v"}
+        rounds = {1: 2, 2: 3}
+        inputs = {1: "v", 2: "v"}
+        assert check_consensus_condition(
+            decisions, rounds, inputs, [1, 2], rounds_run=4
+        )
+
+    def test_wrong_value_flagged(self):
+        decisions = {1: "w", 2: "w"}
+        rounds = {1: 2, 2: 2}
+        inputs = {1: "v", 2: "v"}
+        assert check_consensus_condition(
+            decisions, rounds, inputs, [1, 2], rounds_run=4
+        )
+
+    def test_mixed_inputs_impose_nothing(self):
+        decisions = {1: BOTTOM, 2: BOTTOM}
+        rounds = {1: None, 2: None}
+        inputs = {1: "v", 2: "w"}
+        assert not check_consensus_condition(
+            decisions, rounds, inputs, [1, 2], rounds_run=4
+        )
+
+    def test_custom_deadline(self):
+        decisions = {1: "v", 2: "v"}
+        rounds = {1: 2, 2: 2}
+        inputs = {1: "v", 2: "v"}
+        assert check_consensus_condition(
+            decisions, rounds, inputs, [1, 2], rounds_run=4, deadline=1
+        )
+
+    def test_short_executions_not_judged(self):
+        decisions = {1: BOTTOM}
+        rounds = {1: None}
+        inputs = {1: "v"}
+        assert not check_consensus_condition(
+            decisions, rounds, inputs, [1], rounds_run=1
+        )
+
+
+class TestPlausibilityCondition:
+    def test_decision_from_correct_input_passes(self):
+        assert not check_plausibility_condition(
+            {1: "v"}, {1: "v", 2: "w"}, [1, 2]
+        )
+
+    def test_invented_value_flagged(self):
+        assert check_plausibility_condition(
+            {1: "evil"}, {1: "v", 2: "w"}, [1, 2]
+        )
+
+    def test_faulty_inputs_do_not_count(self):
+        # 3 is faulty (not in correct ids); its input cannot justify.
+        violations = check_plausibility_condition(
+            {1: "x"}, {1: "v", 2: "w", 3: "x"}, [1, 2]
+        )
+        assert violations
+
+    def test_undecided_ignored(self):
+        assert not check_plausibility_condition(
+            {1: BOTTOM}, {1: "v"}, [1]
+        )

@@ -1,0 +1,64 @@
+"""Property-based tests for the authenticated compact variant."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compact.authenticated_variant import auth_compact_ba_factory
+from repro.runtime.crypto import SignatureOracle
+from repro.runtime.engine import run_protocol
+from repro.types import SystemConfig
+
+from tests.conftest import byzantine_adversaries
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pattern=st.integers(0, 7),
+    faulty=st.sets(st.integers(1, 7), min_size=1, max_size=2),
+    strategy_index=st.integers(0, 5),
+    k=st.integers(1, 2),
+    seed=st.integers(0, 3),
+)
+def test_agreement_validity_and_rounds_property(
+    pattern, faulty, strategy_index, k, seed
+):
+    config = SystemConfig(n=7, t=2)
+    inputs = {p: (p * (pattern + 1)) % 2 for p in config.process_ids}
+    adversary = byzantine_adversaries(sorted(faulty))[strategy_index]
+    result = run_protocol(
+        auth_compact_ba_factory(config, [0, 1], SignatureOracle(), k=k),
+        config,
+        inputs,
+        adversary=adversary,
+        max_rounds=config.t + 2,
+        seed=seed,
+    )
+    decisions = set(result.decisions.values())
+    assert len(decisions) == 1
+    assert result.rounds == config.t + 1
+    correct_inputs = {inputs[p] for p in result.processes}
+    if len(correct_inputs) == 1:
+        assert decisions == correct_inputs
+
+
+@settings(max_examples=15, deadline=None)
+@given(pattern=st.integers(0, 7))
+def test_matches_nonauth_decisions_fault_free(pattern):
+    """Same decision rule on the same simulated state: the
+    authenticated and non-cryptographic compact protocols decide
+    identically fault-free."""
+    from repro.compact.byzantine_agreement import (
+        run_compact_byzantine_agreement,
+    )
+
+    config = SystemConfig(n=4, t=1)
+    inputs = {p: (p + pattern) % 2 for p in config.process_ids}
+    plain = run_compact_byzantine_agreement(
+        config, inputs, value_alphabet=[0, 1], k=2
+    )
+    authenticated = run_protocol(
+        auth_compact_ba_factory(config, [0, 1], SignatureOracle(), k=2),
+        config,
+        inputs,
+        max_rounds=config.t + 2,
+    )
+    assert authenticated.decisions == plain.decisions

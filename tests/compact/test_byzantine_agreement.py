@@ -1,0 +1,193 @@
+"""Corollary 10 end-to-end: agreement, validity, rounds, fidelity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compact.byzantine_agreement import (
+    compact_ba_rounds,
+    resolve_k,
+    run_compact_byzantine_agreement,
+)
+from repro.core.simulation import check_fullinfo_consistency
+from repro.errors import ConfigurationError
+from repro.types import BOTTOM, SystemConfig
+
+from tests.conftest import (
+    assert_agreement_and_validity,
+    byzantine_adversaries,
+)
+
+
+class TestResolveK:
+    def test_exactly_one_parameter(self, config4):
+        with pytest.raises(ConfigurationError):
+            resolve_k(config4)
+        with pytest.raises(ConfigurationError):
+            resolve_k(config4, k=2, epsilon=1.0)
+
+    def test_epsilon_derivation(self, config4):
+        assert resolve_k(config4, epsilon=1.0) == 2
+        assert resolve_k(config4, epsilon=0.5) == 4
+        assert resolve_k(config4, epsilon=1.0, overhead=1) == 1
+
+
+class TestRoundCounts:
+    def test_decision_at_predicted_round(self, config4):
+        inputs = {p: p % 2 for p in config4.process_ids}
+        for k in (1, 2, 3):
+            result = run_compact_byzantine_agreement(
+                config4, inputs, value_alphabet=[0, 1], k=k
+            )
+            assert result.rounds == compact_ba_rounds(config4.t, k)
+            assert all(
+                r == result.rounds for r in result.decision_rounds.values()
+            )
+
+    def test_corollary10_round_guarantee(self):
+        for t in (1, 2, 3, 4):
+            for epsilon in (2.0, 1.0, 0.5, 0.25):
+                k = resolve_k(SystemConfig(3 * t + 1, t), epsilon=epsilon)
+                assert compact_ba_rounds(t, k) <= (1 + epsilon) * (t + 1)
+
+    def test_fast_variant_fewer_rounds(self):
+        t = 2
+        k = 2
+        assert compact_ba_rounds(t, k, overhead=1) < compact_ba_rounds(
+            t, k, overhead=2
+        )
+
+
+class TestAgreementSweep:
+    @pytest.mark.parametrize("k", [1, 2])
+    @pytest.mark.parametrize("faulty", [(1,), (4,)])
+    def test_n4_all_strategies(self, config4, k, faulty):
+        inputs = {p: p % 2 for p in config4.process_ids}
+        for adversary in byzantine_adversaries(list(faulty)):
+            result = run_compact_byzantine_agreement(
+                config4,
+                inputs,
+                value_alphabet=[0, 1],
+                k=k,
+                adversary=adversary,
+            )
+            assert_agreement_and_validity(result, inputs)
+
+    @pytest.mark.parametrize("faulty", [(1, 2), (3, 7)])
+    def test_n7_all_strategies(self, config7, faulty):
+        inputs = {p: p % 2 for p in config7.process_ids}
+        for adversary in byzantine_adversaries(list(faulty)):
+            result = run_compact_byzantine_agreement(
+                config7,
+                inputs,
+                value_alphabet=[0, 1],
+                k=1,
+                adversary=adversary,
+            )
+            assert_agreement_and_validity(result, inputs)
+
+    def test_unanimity_under_attack(self, config7):
+        inputs = {p: 1 for p in config7.process_ids}
+        for adversary in byzantine_adversaries([2, 5]):
+            result = run_compact_byzantine_agreement(
+                config7,
+                inputs,
+                value_alphabet=[0, 1],
+                k=2,
+                adversary=adversary,
+            )
+            assert result.decided_values() == {1}
+
+    def test_multivalued_alphabet(self, config4):
+        inputs = {1: "red", 2: "green", 3: "red", 4: "blue"}
+        result = run_compact_byzantine_agreement(
+            config4,
+            inputs,
+            value_alphabet=["red", "green", "blue"],
+            k=2,
+        )
+        assert len(result.decided_values()) == 1
+
+    def test_fast_variant_agreement(self, config9):
+        inputs = {p: p % 2 for p in config9.process_ids}
+        for adversary in byzantine_adversaries([3, 8]):
+            result = run_compact_byzantine_agreement(
+                config9,
+                inputs,
+                value_alphabet=[0, 1],
+                k=1,
+                overhead=1,
+                adversary=adversary,
+            )
+            assert_agreement_and_validity(result, inputs)
+            assert result.rounds == compact_ba_rounds(config9.t, 1, overhead=1)
+
+
+class TestMatchesExponentialBaseline:
+    def test_same_decision_as_eig_fault_free(self, config4):
+        """The compact protocol applies the same decision rule to a
+        simulated state; fault-free, the decisions must be identical
+        to the exponential protocol's."""
+        from repro.agreement.eig_agreement import run_eig_agreement
+
+        for pattern in range(3):
+            inputs = {
+                p: (p + pattern) % 2 for p in config4.process_ids
+            }
+            compact = run_compact_byzantine_agreement(
+                config4, inputs, value_alphabet=[0, 1], k=2
+            )
+            exponential = run_eig_agreement(config4, inputs, [0, 1])
+            assert compact.decisions == {
+                p: exponential.decisions[p] for p in compact.decisions
+            }
+
+
+class TestSimulationFidelityUnderFaults:
+    @pytest.mark.parametrize("strategy_index", range(6))
+    def test_full_states_consistent_with_some_execution(
+        self, config4, strategy_index
+    ):
+        """Theorem 9 checked existentially under every adversary."""
+        inputs = {p: p % 2 for p in config4.process_ids}
+        adversary = byzantine_adversaries([2])[strategy_index]
+        result = run_compact_byzantine_agreement(
+            config4,
+            inputs,
+            value_alphabet=[0, 1],
+            k=2,
+            adversary=adversary,
+            record_trace=True,
+            expose_full_state=True,
+        )
+        correct = sorted(result.processes)
+        full_states = {p: [inputs[p]] for p in correct}
+        progress_seen = {p: 0 for p in correct}
+        for round_number in result.trace.rounds:
+            for process_id in correct:
+                snapshot = result.trace.snapshot(round_number, process_id)
+                if (
+                    snapshot
+                    and "full_state" in snapshot
+                    and snapshot["simul"] == progress_seen[process_id] + 1
+                ):
+                    full_states[process_id].append(snapshot["full_state"])
+                    progress_seen[process_id] += 1
+        check_fullinfo_consistency(
+            full_states, correct, inputs, config4.n, value_alphabet=[0, 1]
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    pattern=st.integers(0, 7),
+    faulty=st.sets(st.integers(1, 7), min_size=1, max_size=2),
+    strategy_index=st.integers(0, 5),
+)
+def test_agreement_property(pattern, faulty, strategy_index):
+    config = SystemConfig(n=7, t=2)
+    inputs = {p: (p * (pattern + 1)) % 2 for p in config.process_ids}
+    adversary = byzantine_adversaries(sorted(faulty))[strategy_index]
+    result = run_compact_byzantine_agreement(
+        config, inputs, value_alphabet=[0, 1], k=1, adversary=adversary
+    )
+    assert_agreement_and_validity(result, inputs)

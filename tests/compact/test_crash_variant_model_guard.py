@@ -1,0 +1,90 @@
+"""The benign variant detects when its fault model is violated.
+
+The crash variant's safety rests on "no equivocation".  Run it against
+a *Byzantine* equivocator and its binding-consistency guard must trip
+(raising :class:`ProtocolViolation`) rather than silently producing an
+inconsistent simulation — fail loudly, never wrongly.
+"""
+
+import pytest
+
+from repro.adversary import EquivocatingAdversary, SilentAdversary
+from repro.adversary.base import Adversary
+from repro.compact.crash_variant import CrashPayload, crash_compact_factory
+from repro.errors import ProtocolViolation
+from repro.runtime.engine import run_protocol
+from repro.types import SystemConfig
+
+ALPHABET = [0, 1, 2]
+
+
+class EquivocatingPatcher(Adversary):
+    """Byzantine behaviour in benign clothing: sends *different*
+    end-of-block cores (as patches) to different receivers for the
+    same binding key — impossible for a genuine crash fault."""
+
+    def outgoing(self, round_number, sender, context):
+        n = self.config.n
+        messages = {}
+        for receiver in self.config.process_ids:
+            fake_core = tuple(receiver % 3 for _ in range(n))
+            messages[receiver] = CrashPayload(
+                main=fake_core,
+                patches=(((2, sender), fake_core),),
+            )
+        return messages
+
+
+class TestModelGuard:
+    def test_equivocating_patches_detected(self, config7):
+        inputs = {p: p % 3 for p in config7.process_ids}
+        factory = crash_compact_factory(
+            k=1, value_alphabet=ALPHABET, t=config7.t
+        )
+        # Receivers compare binding copies across rounds/sources; the
+        # equivocated patch for one key must eventually collide with a
+        # genuine copy or another receiver's relay.
+        with pytest.raises(ProtocolViolation):
+            run_protocol(
+                factory,
+                config7,
+                inputs,
+                adversary=EquivocatingPatcher([6, 7]),
+                max_rounds=config7.t + 2,
+            )
+
+    def test_silence_is_a_legal_benign_behaviour(self, config7):
+        """Silence is valid in the crash model: no guard trips."""
+        inputs = {p: p % 3 for p in config7.process_ids}
+        factory = crash_compact_factory(
+            k=1, value_alphabet=ALPHABET, t=config7.t
+        )
+        result = run_protocol(
+            factory,
+            config7,
+            inputs,
+            adversary=SilentAdversary([6, 7]),
+            max_rounds=config7.t + 2,
+        )
+        assert len(result.decided_values()) == 1
+
+    def test_scalar_equivocation_on_values_detected_or_survived(self, config7):
+        """A plain value equivocator may or may not collide with the
+        binding guard (depends on timing); the execution must either
+        trip the guard or still reach agreement — never disagree
+        silently."""
+        inputs = {p: p % 3 for p in config7.process_ids}
+        factory = crash_compact_factory(
+            k=2, value_alphabet=ALPHABET, t=config7.t
+        )
+        try:
+            result = run_protocol(
+                factory,
+                config7,
+                inputs,
+                adversary=EquivocatingAdversary([6, 7], 0, 1),
+                max_rounds=config7.t + 2,
+            )
+        except ProtocolViolation:
+            return  # loud failure: acceptable and intended
+        assert len(result.decided_values()) == 1

@@ -1,0 +1,95 @@
+"""Property-based tests for the benign-fault compact variant.
+
+Random crash schedules (round, cut point) and omission probabilities
+must never break agreement, validity, or the exact-``t + 1``-round
+guarantee — including schedules that crash a processor mid-broadcast
+while it is relaying a binding it learned only one round earlier (the
+case the patch-cascade induction exists for).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary.crash import CrashAdversary
+from repro.adversary.omission import OmissionAdversary
+from repro.compact.crash_variant import crash_compact_factory
+from repro.runtime.engine import run_protocol
+from repro.types import SystemConfig
+
+ALPHABET = [0, 1, 2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    crash_rounds=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    faulty_pair=st.tuples(st.integers(1, 7), st.integers(1, 7)).filter(
+        lambda pair: pair[0] != pair[1]
+    ),
+    cut=st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+    k=st.integers(1, 3),
+    pattern=st.integers(0, 4),
+)
+def test_crash_schedules_property(crash_rounds, faulty_pair, cut, k, pattern):
+    config = SystemConfig(n=7, t=2)
+    inputs = {p: (p * (pattern + 1)) % 3 for p in config.process_ids}
+    factory = crash_compact_factory(k=k, value_alphabet=ALPHABET, t=config.t)
+    adversary = CrashAdversary(
+        {faulty_pair[0]: crash_rounds[0], faulty_pair[1]: crash_rounds[1]},
+        factory,
+        cut_fraction=cut,
+    )
+    result = run_protocol(
+        factory, config, inputs, adversary=adversary, max_rounds=config.t + 2
+    )
+    decisions = set(result.decisions.values())
+    assert len(decisions) == 1
+    assert result.rounds == config.t + 1
+    correct_inputs = {inputs[p] for p in result.processes}
+    if len(correct_inputs) == 1:
+        assert decisions == correct_inputs
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    probability=st.sampled_from([0.1, 0.3, 0.5, 0.7, 0.9]),
+    faulty_pair=st.tuples(st.integers(1, 7), st.integers(1, 7)).filter(
+        lambda pair: pair[0] != pair[1]
+    ),
+    seed=st.integers(0, 5),
+    k=st.integers(1, 2),
+)
+def test_omission_schedules_property(probability, faulty_pair, seed, k):
+    config = SystemConfig(n=7, t=2)
+    inputs = {p: p % 3 for p in config.process_ids}
+    factory = crash_compact_factory(k=k, value_alphabet=ALPHABET, t=config.t)
+    adversary = OmissionAdversary(
+        list(faulty_pair), factory, drop_probability=probability
+    )
+    result = run_protocol(
+        factory,
+        config,
+        inputs,
+        adversary=adversary,
+        max_rounds=config.t + 2,
+        seed=seed,
+    )
+    assert len(set(result.decisions.values())) == 1
+    assert result.rounds == config.t + 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    crash_round=st.integers(1, 3),
+    cut=st.sampled_from([0.1, 0.4, 0.6, 0.9]),
+    value=st.integers(0, 2),
+)
+def test_unanimity_survives_any_single_crash(crash_round, cut, value):
+    """Validity as a property: unanimous survivors always decide their
+    common value, whatever the crash timing."""
+    config = SystemConfig(n=4, t=1)
+    inputs = {p: value for p in config.process_ids}
+    factory = crash_compact_factory(k=2, value_alphabet=ALPHABET, t=config.t)
+    adversary = CrashAdversary({3: crash_round}, factory, cut_fraction=cut)
+    result = run_protocol(
+        factory, config, inputs, adversary=adversary, max_rounds=config.t + 2
+    )
+    assert set(result.decisions.values()) == {value}

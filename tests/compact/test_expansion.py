@@ -1,0 +1,118 @@
+"""Tests for expansion functions phi_{b,r,p}."""
+
+import pytest
+
+from repro.compact.expansion import ExpansionState
+from repro.errors import ProtocolViolation
+from repro.types import BOTTOM, SystemConfig, is_bottom
+
+
+@pytest.fixture
+def expansion(config4):
+    return ExpansionState(config4, value_alphabet=[0, 1])
+
+
+class TestBlockOne:
+    def test_identity_on_values(self, expansion):
+        assert expansion.expand_scalar(1, 0) == 0
+        assert expansion.expand_scalar(1, 1) == 1
+
+    def test_undefined_outside_alphabet(self, expansion):
+        assert is_bottom(expansion.expand_scalar(1, 7))
+        assert is_bottom(expansion.expand_scalar(1, "x"))
+
+    def test_unhashable_leaf_undefined(self, expansion):
+        assert is_bottom(expansion.expand_scalar(1, [1, 2]))
+
+    def test_identity_on_value_arrays(self, expansion):
+        array = ((0, 1, 0, 1), (1, 1, 0, 0), (0, 0, 0, 0), (1, 1, 1, 1))
+        assert expansion.expand(1, array) == array
+
+
+class TestHigherBlocks:
+    def test_index_expands_through_out_table(self, expansion):
+        expansion.set_out(2, 3, (0, 1, 0, 1))
+        assert expansion.expand_scalar(2, 3) == (0, 1, 0, 1)
+
+    def test_missing_out_is_undefined(self, expansion):
+        assert is_bottom(expansion.expand_scalar(2, 3))
+
+    def test_non_index_undefined(self, expansion):
+        expansion.set_out(2, 3, (0, 1, 0, 1))
+        assert is_bottom(expansion.expand_scalar(2, 0))
+        assert is_bottom(expansion.expand_scalar(2, 5))
+        assert is_bottom(expansion.expand_scalar(2, True))
+
+    def test_recursive_two_levels(self, expansion):
+        # phi_3(q) = phi_2(OUT[3][q]); OUT[3][q] is an index array.
+        expansion.set_out(2, 1, (0, 0, 0, 0))
+        expansion.set_out(2, 2, (1, 1, 1, 1))
+        expansion.set_out(3, 4, (1, 2, 1, 2))
+        assert expansion.expand_scalar(3, 4) == (
+            (0, 0, 0, 0),
+            (1, 1, 1, 1),
+            (0, 0, 0, 0),
+            (1, 1, 1, 1),
+        )
+
+    def test_partial_nested_definition_undefined(self, expansion):
+        expansion.set_out(3, 4, (1, 2, 1, 2))
+        expansion.set_out(2, 1, (0, 0, 0, 0))
+        # OUT[2][2] missing: the whole expansion is undefined.
+        assert is_bottom(expansion.expand_scalar(3, 4))
+
+    def test_substitutive_on_arrays(self, expansion):
+        expansion.set_out(2, 1, (0, 0, 0, 0))
+        expansion.set_out(2, 2, (1, 1, 1, 1))
+        array = (1, 2, 1, 2)
+        expanded = expansion.expand(2, array)
+        assert expanded == (
+            (0, 0, 0, 0),
+            (1, 1, 1, 1),
+            (0, 0, 0, 0),
+            (1, 1, 1, 1),
+        )
+
+
+class TestMonotonicity:
+    """Expansion functions only ever become MORE defined (Lemma 7's
+    engine room): defined results are stable, undefined ones may
+    flip to defined later."""
+
+    def test_undefined_becomes_defined_after_out(self, expansion):
+        array = (3, 3, 3, 3)
+        assert is_bottom(expansion.expand(2, array))
+        expansion.set_out(2, 3, (0, 1, 0, 1))
+        assert not is_bottom(expansion.expand(2, array))
+
+    def test_defined_results_are_stable(self, expansion):
+        expansion.set_out(2, 3, (0, 1, 0, 1))
+        before = expansion.expand(2, (3, 3, 3, 3))
+        expansion.set_out(2, 1, (1, 1, 1, 1))  # unrelated growth
+        after = expansion.expand(2, (3, 3, 3, 3))
+        assert before == after
+
+    def test_out_entries_irrevocable(self, expansion):
+        expansion.set_out(2, 3, (0, 1, 0, 1))
+        with pytest.raises(ProtocolViolation):
+            expansion.set_out(2, 3, (1, 1, 1, 1))
+
+    def test_idempotent_set_out_allowed(self, expansion):
+        expansion.set_out(2, 3, (0, 1, 0, 1))
+        expansion.set_out(2, 3, (0, 1, 0, 1))  # same value: fine
+
+
+class TestBookkeeping:
+    def test_has_out_and_table(self, expansion):
+        assert not expansion.has_out(2, 3)
+        expansion.set_out(2, 3, (0, 1, 0, 1))
+        assert expansion.has_out(2, 3)
+        assert expansion.out_table(2) == {3: (0, 1, 0, 1)}
+        assert expansion.out_table(3) == {}
+
+    def test_out_returns_bottom_when_missing(self, expansion):
+        assert is_bottom(expansion.out(2, 1))
+
+    def test_defined_predicate(self, expansion):
+        assert expansion.defined(1, (0, 1, 0, 1))
+        assert not expansion.defined(2, (1, 1, 1, 1))

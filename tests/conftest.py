@@ -1,0 +1,87 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import pytest
+
+from repro.adversary import (
+    CollusionAdversary,
+    EquivocatingAdversary,
+    MalformedArrayAdversary,
+    RandomGarbageAdversary,
+    SilentAdversary,
+    VoteSplitterAdversary,
+)
+from repro.types import BOTTOM, ProcessId, SystemConfig, Value
+
+
+@pytest.fixture
+def config4() -> SystemConfig:
+    """The smallest Byzantine-capable system: n = 4, t = 1."""
+    return SystemConfig(n=4, t=1)
+
+
+@pytest.fixture
+def config7() -> SystemConfig:
+    """n = 7, t = 2 — the workhorse size for adversarial sweeps."""
+    return SystemConfig(n=7, t=2)
+
+
+@pytest.fixture
+def config9() -> SystemConfig:
+    """n = 9, t = 2 — satisfies the fast-variant bound n >= 4t + 1."""
+    return SystemConfig(n=9, t=2)
+
+
+def binary_inputs(config: SystemConfig, pattern: int = 0) -> Dict[ProcessId, int]:
+    """Deterministic mixed binary inputs; ``pattern`` varies the mix."""
+    return {
+        process_id: (process_id + pattern) % 2
+        for process_id in config.process_ids
+    }
+
+
+def unanimous_inputs(config: SystemConfig, value: Value) -> Dict[ProcessId, Value]:
+    return {process_id: value for process_id in config.process_ids}
+
+
+def byzantine_adversaries(faulty: Sequence[ProcessId], values=(0, 1)) -> List:
+    """One instance of every Byzantine strategy, for sweep tests."""
+    value_a, value_b = values[0], values[-1]
+    return [
+        SilentAdversary(faulty),
+        RandomGarbageAdversary(faulty, palette=list(values)),
+        EquivocatingAdversary(faulty, value_a, value_b),
+        VoteSplitterAdversary(faulty),
+        MalformedArrayAdversary(faulty),
+        CollusionAdversary(faulty),
+    ]
+
+
+def assert_agreement_and_validity(result, inputs: Dict[ProcessId, Value]) -> None:
+    """The Section 2 conditions, as a test helper."""
+    decisions = [
+        result.decisions[process_id] for process_id in sorted(result.processes)
+    ]
+    assert all(
+        decision is not BOTTOM for decision in decisions
+    ), f"undecided correct processors: {result.decisions}"
+    assert len(set(decisions)) == 1, f"disagreement: {result.decisions}"
+    correct_inputs = {inputs[process_id] for process_id in result.processes}
+    if len(correct_inputs) == 1:
+        assert decisions[0] == next(iter(correct_inputs)), (
+            f"validity violated: unanimous input {correct_inputs} but "
+            f"decision {decisions[0]!r}"
+        )
+
+
+def faulty_subsets(config: SystemConfig) -> List[Tuple[ProcessId, ...]]:
+    """A few representative faulty sets of maximal size ``t``."""
+    n, t = config.n, config.t
+    subsets = [tuple(range(1, t + 1)), tuple(range(n - t + 1, n + 1))]
+    middle = tuple(range(2, 2 + t))
+    if middle not in subsets and len(middle) == t:
+        subsets.append(middle)
+    return subsets

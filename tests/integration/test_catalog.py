@@ -1,0 +1,81 @@
+"""Catalog-wide conformance: every protocol vs the adversary gallery.
+
+Each registered agreement protocol must satisfy the Byzantine
+agreement predicate against every generic Byzantine strategy, decide
+within its declared round bound, and refuse configurations outside its
+resilience requirement.  New protocols inherit this coverage by
+registering in :mod:`repro.agreement.interfaces`.
+"""
+
+import pytest
+
+from repro.agreement.interfaces import catalog, entries_supporting
+from repro.core.predicates import byzantine_agreement_predicate
+from repro.runtime.engine import run_protocol
+from repro.types import SystemConfig
+
+from tests.conftest import byzantine_adversaries
+
+CONFIG = SystemConfig(n=9, t=2)  # satisfies every entry's requirement
+PREDICATE = byzantine_agreement_predicate()
+
+
+def run_entry(entry, config, inputs, adversary, seed=0):
+    factory = entry.build(config, [0, 1], seed)
+    bound = entry.rounds(config.t)
+    return run_protocol(
+        factory,
+        config,
+        inputs,
+        adversary=adversary,
+        max_rounds=(bound + 1) if bound is not None else 800,
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize(
+    "entry", catalog(), ids=lambda entry: entry.name
+)
+class TestCatalogConformance:
+    def test_satisfies_ba_predicate_under_gallery(self, entry):
+        if not entry.supports(CONFIG):
+            pytest.skip("configuration outside the entry's requirement")
+        inputs = {p: p % 2 for p in CONFIG.process_ids}
+        strategies = byzantine_adversaries([4, 9])
+        if "authenticated" in entry.name:
+            strategies = strategies[:1]  # silent only; see entry.notes
+        for adversary in strategies:
+            result = run_entry(entry, CONFIG, inputs, adversary, seed=2)
+            assert PREDICATE(
+                result.answer_vector(),
+                frozenset(result.faulty_ids),
+                tuple(inputs[p] for p in CONFIG.process_ids),
+            ), f"{entry.name} vs {type(adversary).__name__}"
+
+    def test_decides_within_declared_rounds(self, entry):
+        if not entry.supports(CONFIG):
+            pytest.skip("configuration outside the entry's requirement")
+        inputs = {p: p % 2 for p in CONFIG.process_ids}
+        result = run_entry(entry, CONFIG, inputs, adversary=None)
+        bound = entry.rounds(CONFIG.t)
+        if bound is not None:
+            assert result.rounds <= bound
+        assert result.is_deciding()
+
+
+class TestCatalogStructure:
+    def test_names_unique(self):
+        names = [entry.name for entry in catalog()]
+        assert len(names) == len(set(names))
+
+    def test_entries_supporting_filters(self):
+        tight = SystemConfig(n=7, t=2)  # 3t + 1 but < 4t + 1
+        names = {entry.name for entry in entries_supporting(tight)}
+        assert "Phase Queen" not in names
+        assert "Phase King" in names
+        assert "compact BA (fast, k=1)" not in names
+
+    def test_all_entries_declare_requirements(self):
+        for entry in catalog():
+            assert entry.supports(SystemConfig(n=50, t=2))
+            assert not entry.supports(SystemConfig(n=4, t=3))

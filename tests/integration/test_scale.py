@@ -1,0 +1,87 @@
+"""Scale smoke tests: the largest configurations the suite runs.
+
+The paper's protocols are proved for all n; these tests push the
+implementation past the toy sizes used elsewhere, including the
+largest EIG decision the suite computes (n = 13, t = 4: 154,440
+distinct relay chains) — via the polynomial-space lazy path, which is
+the representation the paper says one should use.
+"""
+
+import pytest
+
+from repro.adversary import CollusionAdversary, EquivocatingAdversary
+from repro.compact.byzantine_agreement import (
+    compact_ba_rounds,
+    run_compact_byzantine_agreement,
+)
+from repro.compact.lazy_decision import lazy_compact_ba_factory
+from repro.runtime.engine import run_protocol
+from repro.types import SystemConfig
+
+from tests.conftest import assert_agreement_and_validity
+
+
+class TestNTen:
+    def test_compact_ba_n10_t3(self):
+        config = SystemConfig(n=10, t=3)
+        inputs = {p: p % 2 for p in config.process_ids}
+        result = run_compact_byzantine_agreement(
+            config,
+            inputs,
+            value_alphabet=[0, 1],
+            k=1,
+            adversary=EquivocatingAdversary([1, 2, 3], 0, 1),
+        )
+        assert_agreement_and_validity(result, inputs)
+        assert result.rounds == compact_ba_rounds(3, 1)
+
+    def test_compact_ba_n10_collusion_k2(self):
+        config = SystemConfig(n=10, t=3)
+        inputs = {p: p % 2 for p in config.process_ids}
+        result = run_compact_byzantine_agreement(
+            config,
+            inputs,
+            value_alphabet=[0, 1],
+            k=2,
+            adversary=CollusionAdversary([4, 5, 6]),
+        )
+        assert_agreement_and_validity(result, inputs)
+
+    def test_lazy_equals_eager_n10(self):
+        config = SystemConfig(n=10, t=3)
+        inputs = {p: p % 2 for p in config.process_ids}
+        eager = run_compact_byzantine_agreement(
+            config,
+            inputs,
+            value_alphabet=[0, 1],
+            k=1,
+            adversary=EquivocatingAdversary([8, 9, 10], 0, 1),
+            seed=7,
+        )
+        lazy = run_protocol(
+            lazy_compact_ba_factory([0, 1], default=0, k=1),
+            config,
+            inputs,
+            adversary=EquivocatingAdversary([8, 9, 10], 0, 1),
+            max_rounds=compact_ba_rounds(3, 1) + 1,
+            seed=7,
+        )
+        assert lazy.decisions == eager.decisions
+
+
+class TestNThirteen:
+    def test_compact_ba_n13_t4_lazy(self):
+        """t = 4 over 13 processors — the suite's largest run, on the
+        polynomial-space path (the eager path would materialise a
+        371,293-leaf array per processor)."""
+        config = SystemConfig(n=13, t=4)
+        inputs = {p: p % 2 for p in config.process_ids}
+        result = run_protocol(
+            lazy_compact_ba_factory([0, 1], default=0, k=1),
+            config,
+            inputs,
+            adversary=EquivocatingAdversary([1, 2, 3, 4], 0, 1),
+            max_rounds=compact_ba_rounds(4, 1) + 1,
+        )
+        assert_agreement_and_validity(result, inputs)
+        assert result.rounds == compact_ba_rounds(4, 1) == 13

@@ -1,0 +1,85 @@
+"""Tests for result persistence."""
+
+import pytest
+
+from repro.adversary import EquivocatingAdversary
+from repro.compact.byzantine_agreement import run_compact_byzantine_agreement
+from repro.errors import ConfigurationError
+from repro.runtime.checkpoint import load_result, save_result
+from repro.types import BOTTOM, SystemConfig
+
+
+@pytest.fixture
+def result(config4):
+    inputs = {p: p % 2 for p in config4.process_ids}
+    return run_compact_byzantine_agreement(
+        config4,
+        inputs,
+        value_alphabet=[0, 1],
+        k=2,
+        adversary=EquivocatingAdversary([4], 0, 1),
+        record_trace=True,
+    )
+
+
+class TestRoundtrip:
+    def test_scalars_survive(self, result, tmp_path):
+        path = tmp_path / "run.pkl"
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.decisions == result.decisions
+        assert restored.decision_rounds == result.decision_rounds
+        assert restored.rounds == result.rounds
+        assert restored.faulty_ids == result.faulty_ids
+        assert restored.inputs == result.inputs
+
+    def test_metrics_survive(self, result, tmp_path):
+        path = tmp_path / "run.pkl"
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.metrics.total_bits == result.metrics.total_bits
+        assert restored.metrics.bits_by_round() == result.metrics.bits_by_round()
+
+    def test_trace_survives_with_singleton_identity(self, result, tmp_path):
+        path = tmp_path / "run.pkl"
+        save_result(result, path)
+        restored = load_result(path)
+        assert len(restored.trace.envelopes) == len(result.trace.envelopes)
+        # Singleton identity is preserved through pickling: any BOTTOM
+        # inside restored snapshots must be *the* BOTTOM.
+        for round_number in restored.trace.rounds:
+            for snapshot in restored.trace.snapshots_in_round(
+                round_number
+            ).values():
+                value = snapshot.get("decision")
+                if value is not None and not value:
+                    assert value is BOTTOM or value == 0
+
+    def test_processes_dropped(self, result, tmp_path):
+        path = tmp_path / "run.pkl"
+        save_result(result, path)
+        assert load_result(path).processes == {}
+
+    def test_answer_vector_still_works(self, result, tmp_path):
+        path = tmp_path / "run.pkl"
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.answer_vector() == result.answer_vector()
+
+
+class TestValidation:
+    def test_rejects_foreign_pickles(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(ConfigurationError):
+            load_result(path)
+
+    def test_rejects_wrong_version(self, result, tmp_path):
+        import pickle
+
+        path = tmp_path / "old.pkl"
+        path.write_bytes(pickle.dumps({"version": 0, "result": None}))
+        with pytest.raises(ConfigurationError):
+            load_result(path)

@@ -1,0 +1,60 @@
+"""Tests for the communication meters."""
+
+from repro.runtime.metrics import MessageMetrics, RoundUsage
+
+
+class TestRoundUsage:
+    def test_add_accumulates(self):
+        usage = RoundUsage()
+        usage.add(bits=10, non_null=True)
+        usage.add(bits=0, non_null=False)
+        assert usage.messages == 2
+        assert usage.non_null_messages == 1
+        assert usage.bits == 10
+
+
+class TestMessageMetrics:
+    def test_totals(self):
+        metrics = MessageMetrics()
+        metrics.record(1, sender=1, receiver=2, bits=8)
+        metrics.record(1, sender=1, receiver=3, bits=8)
+        metrics.record(2, sender=2, receiver=1, bits=4, non_null=False)
+        assert metrics.total_bits == 20
+        assert metrics.total_messages == 3
+        assert metrics.total_non_null_messages == 2
+        assert metrics.rounds_used == 2
+
+    def test_round_breakdown(self):
+        metrics = MessageMetrics()
+        metrics.record(3, sender=1, receiver=2, bits=8)
+        assert metrics.round_usage(3).bits == 8
+        assert metrics.round_usage(1).bits == 0
+
+    def test_sender_breakdown(self):
+        metrics = MessageMetrics()
+        metrics.record(1, sender=5, receiver=2, bits=8)
+        metrics.record(2, sender=5, receiver=3, bits=8, non_null=False)
+        assert metrics.sender_usage(5).messages == 2
+        assert metrics.non_null_by_sender() == {5: 1}
+
+    def test_bits_by_round_sorted(self):
+        metrics = MessageMetrics()
+        metrics.record(2, 1, 2, bits=4)
+        metrics.record(1, 1, 2, bits=8)
+        assert metrics.bits_by_round() == [(1, 8), (2, 4)]
+
+    def test_merge(self):
+        left, right = MessageMetrics(), MessageMetrics()
+        left.record(1, 1, 2, bits=4)
+        right.record(1, 2, 1, bits=6)
+        right.record(2, 1, 2, bits=1, non_null=False)
+        left.merge(right)
+        assert left.total_bits == 11
+        assert left.total_messages == 3
+        assert left.round_usage(1).messages == 2
+
+    def test_empty_metrics(self):
+        metrics = MessageMetrics()
+        assert metrics.total_bits == 0
+        assert metrics.rounds_used == 0
+        assert metrics.bits_by_round() == []

@@ -1,0 +1,146 @@
+"""Tests for the synchronous network: delivery, adversary, metering."""
+
+import pytest
+
+from repro.adversary.base import Adversary, PassiveAdversary
+from repro.runtime.metrics import MessageMetrics
+from repro.runtime.network import SynchronousNetwork
+from repro.runtime.node import Process, broadcast
+from repro.runtime.rng import make_rng
+from repro.runtime.trace import ExecutionTrace
+from repro.types import BOTTOM, SystemConfig, is_bottom
+
+
+class Recorder(Process):
+    def __init__(self, process_id, config, value):
+        super().__init__(process_id, config)
+        self.value = value
+        self.rounds = []
+
+    def outgoing(self, round_number):
+        return broadcast((self.process_id, self.value), self.config)
+
+    def receive(self, round_number, incoming):
+        self.rounds.append(dict(incoming))
+
+
+class FirstHalfOnly(Adversary):
+    """Sends 'evil' to low ids, nothing to high ids."""
+
+    def outgoing(self, round_number, sender, context):
+        half = self.config.n // 2
+        return {receiver: "evil" for receiver in range(1, half + 1)}
+
+
+def build(config, adversary, **kwargs):
+    processes = {
+        process_id: Recorder(process_id, config, f"v{process_id}")
+        for process_id in config.process_ids
+        if process_id not in adversary.faulty_ids
+    }
+    inputs = {process_id: 0 for process_id in config.process_ids}
+    adversary.bind(config, make_rng(0))
+    return (
+        processes,
+        SynchronousNetwork(config, processes, adversary, inputs, **kwargs),
+    )
+
+
+class TestDelivery:
+    def test_every_sender_slot_present(self):
+        config = SystemConfig(n=4, t=1)
+        processes, network = build(config, PassiveAdversary())
+        network.run_round()
+        incoming = processes[1].rounds[0]
+        assert set(incoming) == {1, 2, 3, 4}
+
+    def test_correct_messages_delivered_verbatim(self):
+        config = SystemConfig(n=4, t=1)
+        processes, network = build(config, PassiveAdversary())
+        network.run_round()
+        assert processes[1].rounds[0][3] == (3, "v3")
+
+    def test_missing_faulty_message_is_bottom(self):
+        config = SystemConfig(n=4, t=1)
+        processes, network = build(config, FirstHalfOnly([4]))
+        network.run_round()
+        assert processes[1].rounds[0][4] == "evil"
+        assert is_bottom(processes[3].rounds[0][4])
+
+    def test_round_numbers_increment(self):
+        config = SystemConfig(n=4, t=1)
+        _, network = build(config, PassiveAdversary())
+        assert network.run_round() == 1
+        assert network.run_round() == 2
+
+
+class TestValidation:
+    def test_overlapping_correct_and_faulty_rejected(self):
+        config = SystemConfig(n=4, t=1)
+        adversary = FirstHalfOnly([1])
+        adversary.bind(config, make_rng(0))
+        processes = {
+            process_id: Recorder(process_id, config, "v")
+            for process_id in config.process_ids  # includes 1: overlap
+        }
+        with pytest.raises(ValueError):
+            SynchronousNetwork(
+                config, processes, adversary, {p: 0 for p in config.process_ids}
+            )
+
+    def test_uncovered_ids_rejected(self):
+        config = SystemConfig(n=4, t=1)
+        adversary = PassiveAdversary()
+        adversary.bind(config, make_rng(0))
+        processes = {
+            process_id: Recorder(process_id, config, "v")
+            for process_id in (1, 2, 3)  # 4 missing, not faulty either
+        }
+        with pytest.raises(ValueError):
+            SynchronousNetwork(
+                config, processes, adversary, {p: 0 for p in config.process_ids}
+            )
+
+
+class TestMetering:
+    def test_correct_traffic_metered(self):
+        config = SystemConfig(n=4, t=1)
+        _, network = build(config, PassiveAdversary())
+        network.run_round()
+        assert network.metrics.total_messages == 16  # 4 senders x 4 receivers
+
+    def test_adversary_traffic_not_metered_by_default(self):
+        config = SystemConfig(n=4, t=1)
+        _, network = build(config, FirstHalfOnly([4]))
+        network.run_round()
+        assert network.metrics.total_messages == 3 * 4
+
+    def test_adversary_metering_opt_in(self):
+        config = SystemConfig(n=4, t=1)
+        _, network = build(config, FirstHalfOnly([4]), meter_adversary=True)
+        network.run_round()
+        assert network.metrics.total_messages == 3 * 4 + 2
+
+    def test_custom_sizer_used(self):
+        config = SystemConfig(n=4, t=1)
+        _, network = build(config, PassiveAdversary(), sizer=lambda message: 5)
+        network.run_round()
+        assert network.metrics.total_bits == 16 * 5
+
+    def test_null_predicate_feeds_non_null_count(self):
+        config = SystemConfig(n=4, t=1)
+        _, network = build(
+            config, PassiveAdversary(), is_null=lambda message: True
+        )
+        network.run_round()
+        assert network.metrics.total_non_null_messages == 0
+
+
+class TestTrace:
+    def test_envelopes_and_snapshots_recorded(self):
+        config = SystemConfig(n=4, t=1)
+        trace = ExecutionTrace()
+        _, network = build(config, PassiveAdversary(), trace=trace)
+        network.run_round()
+        assert len(trace.messages_in_round(1)) == 16
+        assert set(trace.snapshots_in_round(1)) == {1, 2, 3, 4}

@@ -1,0 +1,60 @@
+"""Tests for execution traces and deterministic RNG derivation."""
+
+import numpy as np
+
+from repro.runtime.message import Envelope
+from repro.runtime.rng import derive_rng, make_rng
+from repro.runtime.trace import ExecutionTrace
+
+
+class TestTrace:
+    def test_envelope_queries(self):
+        trace = ExecutionTrace()
+        trace.record_envelope(Envelope(1, 2, 1, "a"))
+        trace.record_envelope(Envelope(2, 1, 1, "b"))
+        trace.record_envelope(Envelope(1, 3, 2, "c"))
+        assert len(trace.messages_in_round(1)) == 2
+        assert [e.payload for e in trace.messages_from(1)] == ["a", "c"]
+        assert len(trace.envelopes) == 3
+
+    def test_snapshot_storage(self):
+        trace = ExecutionTrace()
+        trace.record_snapshot(1, 2, {"state": "s"})
+        assert trace.snapshot(1, 2) == {"state": "s"}
+        assert trace.snapshot(1, 3) is None
+        assert trace.snapshots_in_round(9) == {}
+        assert trace.rounds == [1]
+
+    def test_envelope_repr_mentions_route(self):
+        envelope = Envelope(1, 2, 3, "payload")
+        assert "1->2" in repr(envelope)
+        assert "r3" in repr(envelope)
+
+
+class TestRng:
+    def test_none_seed_is_deterministic(self):
+        assert make_rng(None).integers(0, 1000) == make_rng(None).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(5)
+        assert make_rng(generator) is generator
+
+    def test_same_key_same_stream(self):
+        a = derive_rng(7, "adversary").integers(0, 10**9)
+        b = derive_rng(7, "adversary").integers(0, 10**9)
+        assert a == b
+
+    def test_different_keys_differ(self):
+        a = derive_rng(7, "adversary").integers(0, 10**9)
+        b = derive_rng(7, "protocol").integers(0, 10**9)
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1, "x").integers(0, 10**9)
+        b = derive_rng(2, "x").integers(0, 10**9)
+        assert a != b
+
+    def test_multi_key_paths(self):
+        a = derive_rng(1, "ben-or", 3).integers(0, 10**9)
+        b = derive_rng(1, "ben-or", 4).integers(0, 10**9)
+        assert a != b

@@ -1,0 +1,87 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestTable1:
+    def test_default(self, capsys):
+        code, out = run_cli(capsys, "table1")
+        assert code == 0
+        assert "k = 2" in out
+        assert "simul" in out
+
+    def test_custom_k(self, capsys):
+        _, out = run_cli(capsys, "table1", "--k", "3", "--rounds", "10")
+        assert "k = 3" in out
+        assert out.count("\n") >= 12
+
+
+class TestRunBA:
+    @pytest.mark.parametrize(
+        "adversary",
+        ["none", "silent", "garbage", "equivocator", "splitter",
+         "malformed", "collusion"],
+    )
+    def test_every_adversary_choice(self, capsys, adversary):
+        code, out = run_cli(
+            capsys, "run-ba", "--t", "1", "--adversary", adversary
+        )
+        assert code == 0
+        assert "decisions:" in out
+        assert "rounds:" in out
+
+    def test_explicit_k(self, capsys):
+        _, out = run_cli(capsys, "run-ba", "--t", "1", "--k", "1")
+        assert "message bits:" in out
+
+    def test_explicit_epsilon(self, capsys):
+        _, out = run_cli(capsys, "run-ba", "--t", "1", "--epsilon", "0.5")
+        assert "rounds: 2" in out  # k = 4 covers t + 1 = 2 in one block
+
+    def test_custom_n(self, capsys):
+        _, out = run_cli(capsys, "run-ba", "--t", "1", "--n", "5")
+        assert "n = 5" in out
+
+    def test_authenticated_variant(self, capsys):
+        _, out = run_cli(
+            capsys, "run-ba", "--t", "2", "--authenticated"
+        )
+        assert "authenticated" in out
+        assert "rounds: 3" in out  # t + 1 exactly
+
+
+class TestCompare:
+    def test_analytic_only(self, capsys):
+        _, out = run_cli(capsys, "compare", "--t", "2")
+        assert "Srikanth-Toueg" in out
+        assert "measured" not in out
+
+    def test_with_measured(self, capsys):
+        _, out = run_cli(capsys, "compare", "--t", "1", "--measured")
+        assert "measured under equivocating faults" in out
+
+
+class TestOtherCommands:
+    def test_tradeoff(self, capsys):
+        _, out = run_cli(capsys, "tradeoff", "--t", "3")
+        assert "message_exponent" in out
+
+    def test_crossover(self, capsys):
+        _, out = run_cli(capsys, "crossover", "--max-t", "5")
+        assert "Figure R1" in out
+
+    def test_avalanche(self, capsys):
+        _, out = run_cli(capsys, "avalanche", "--t", "1")
+        assert "decision rounds:" in out
+
+    def test_unknown_command_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])

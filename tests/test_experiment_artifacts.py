@@ -1,0 +1,57 @@
+"""EXPERIMENTS.md's artifact pointers must resolve.
+
+Every results file the experiment log references is produced by a
+benchmark; after a bench run the files exist, are non-empty, and carry
+the experiment ids the log quotes.  (Run ``pytest benchmarks/
+--benchmark-only`` first; the repository ships with the files already
+generated, so this also passes on a fresh checkout.)
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+
+EXPECTED_FILES = {
+    "table1.txt": "Table 1",
+    "avalanche.txt": "E1",
+    "rounds.txt": "E2",
+    "bits.txt": "E3",
+    "comparison.txt": "E4",
+    "simulation_fidelity.txt": "E5",
+    "transform.txt": "E6",
+    "fast_variant.txt": "E7",
+    "benign.txt": "E8",
+    "robustness.txt": "E9",
+    "ablation.txt": "A1",
+    "extensions.txt": "X1",
+}
+
+
+@pytest.mark.parametrize(
+    "filename,marker", sorted(EXPECTED_FILES.items())
+)
+def test_result_file_exists_with_marker(filename, marker):
+    path = RESULTS / filename
+    assert path.exists(), f"missing {path}; run pytest benchmarks/ --benchmark-only"
+    text = path.read_text()
+    assert text.strip()
+    assert marker in text
+
+
+def test_experiments_log_references_only_real_files():
+    text = EXPERIMENTS.read_text()
+    for name in re.findall(r"`(\w+\.txt)`", text):
+        assert (RESULTS / name).exists(), f"EXPERIMENTS.md points at missing {name}"
+
+
+def test_every_result_file_is_referenced():
+    text = EXPERIMENTS.read_text()
+    for path in RESULTS.glob("*.txt"):
+        assert path.name in text, (
+            f"{path.name} is generated but EXPERIMENTS.md never mentions it"
+        )
