@@ -16,7 +16,9 @@ Public API highlights
   phase king/queen, Srikanth–Toueg-style witnessed broadcast, Ben-Or,
   Turpin–Coan, crusader, weak, approximate agreement),
 * :mod:`repro.runtime` / :mod:`repro.adversary` — the synchronous
-  round substrate and fault models everything runs on.
+  round substrate and fault models everything runs on,
+* :mod:`repro.statics` — protolint, the protocol-aware static
+  analysis behind ``python -m repro lint`` (see ``docs/statics.md``).
 """
 
 from repro.types import BOTTOM, SystemConfig, is_bottom

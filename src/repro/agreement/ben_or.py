@@ -5,7 +5,8 @@ protocols" — Ben-Or [1] first among them — for its vote/adopt/decide
 structure.  This module implements the synchronous version of that
 ancestor, both as a baseline and to make the lineage testable: the
 thresholds below are exactly avalanche agreement's, with a coin flip
-where avalanche tolerates non-termination.
+where avalanche tolerates non-termination.  Resilience:
+``n >= 3t + 1``, as for avalanche agreement itself.
 
 Each phase is two rounds:
 

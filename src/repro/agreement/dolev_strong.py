@@ -7,7 +7,11 @@ communication.  Reference [18]'s theorem ("simulating authenticated
 broadcasts") removes the signatures at a cost of one extra round per
 phase; comparing this module against
 :mod:`repro.agreement.srikanth_toueg` exhibits exactly that 2x round
-relationship.
+relationship.  The catalog registers it at ``n >= 2t + 1``: the
+protocol itself needs only ``n > t + 1``, but the shared conformance
+sweep counts decisions of correct processors against quorums of
+faulty ones, and a majority of correct processors keeps its generic
+adversary gallery meaningful.
 
 **The broadcast protocol** (source ``s``, value set ``V``):
 

@@ -40,7 +40,7 @@ from typing import Any, Dict, FrozenSet, Optional
 
 from repro.errors import ConfigurationError
 from repro.runtime.node import Process, broadcast
-from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value, is_bottom
+from repro.types import ProcessId, Round, SystemConfig, Value
 
 
 def early_stopping_rounds(f: int, t: int) -> int:

@@ -7,7 +7,8 @@ information for ``t + 1`` rounds) with the EIG resolution rule of
 :func:`repro.fullinfo.decision.eig_byzantine_decision` — exactly the
 "decision rule to apply to the final state" the corollary's proof
 invokes, running on real exchanged states instead of reconstructed
-ones.
+ones.  Resilience: ``n >= 3t + 1``, the bound of Lamport et al. that
+every EIG-resolved protocol here inherits.
 
 Two forms are provided:
 

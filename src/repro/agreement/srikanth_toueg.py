@@ -137,8 +137,8 @@ class WitnessedBroadcast:
         for (broadcaster, phase), payloads in inits_seen.items():
             if len(payloads) != 1:
                 continue  # conflicting inits: proof of fault, no echo
-            key = (broadcaster, next(iter(payloads)), phase)
-            self._queue_echo(key)
+            (payload,) = payloads
+            self._queue_echo((broadcaster, payload, phase))
 
         # Echo rule 2: t + 1 echoes persuade a processor to echo too.
         for key, echoers in self._echoes.items():

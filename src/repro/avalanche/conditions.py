@@ -73,7 +73,7 @@ def check_consensus_condition(
     correct_inputs = {inputs[process_id] for process_id in correct_ids}
     if len(correct_inputs) != 1:
         return violations
-    unanimous = next(iter(correct_inputs))
+    (unanimous,) = correct_inputs
     if is_bottom(unanimous):
         return violations
     if rounds_run < deadline:

@@ -8,7 +8,9 @@ Gives a downstream user the paper's artifacts without writing code:
 * ``compare``   — the Section 5.6 comparison (analytic and measured),
 * ``tradeoff``  — the eps <-> k table,
 * ``crossover`` — the exponential-vs-polynomial growth figure,
-* ``avalanche`` — a standalone avalanche agreement demo.
+* ``avalanche`` — a standalone avalanche agreement demo,
+* ``lint``      — the protocol-aware static analysis of
+  :mod:`repro.statics` (determinism, purity and catalog contracts).
 """
 
 from __future__ import annotations
@@ -103,6 +105,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--adversary", choices=sorted(ADVERSARY_CHOICES), default="splitter"
     )
     avalanche.add_argument("--rounds", type=int, default=8)
+
+    lint = commands.add_parser(
+        "lint",
+        help="protocol-aware static analysis (see docs/statics.md)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the machine-readable schema)",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="package directory to lint (default: the installed repro "
+        "package)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        help="suppression file (default: tools/lint_baseline.json if "
+        "present)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file",
+    )
 
     return parser
 
@@ -220,6 +250,63 @@ def _command_avalanche(args) -> str:
     return "\n".join(lines)
 
 
+def _command_lint(args):
+    import json
+    import pathlib
+
+    from repro.statics.baseline import Baseline, write_baseline
+    from repro.statics.report import render_json, render_text
+    from repro.statics.runner import (
+        collect_findings,
+        default_package_root,
+        find_default_baseline,
+        lint_tree,
+    )
+
+    root = (
+        pathlib.Path(args.root).resolve()
+        if args.root
+        else default_package_root()
+    )
+    if not root.is_dir():
+        return f"error: lint root {root} is not a directory", 2
+    baseline_path = (
+        pathlib.Path(args.baseline)
+        if args.baseline
+        else find_default_baseline(root)
+    )
+    try:
+        if baseline_path is not None and (
+            baseline_path.is_file() or not args.update_baseline
+        ):
+            baseline = Baseline.load(baseline_path)
+        else:
+            baseline = Baseline()
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+        return f"error: cannot load baseline: {error}", 2
+
+    if args.update_baseline:
+        target = (
+            baseline_path
+            if baseline_path is not None
+            else pathlib.Path.cwd() / "tools" / "lint_baseline.json"
+        )
+        target.parent.mkdir(parents=True, exist_ok=True)
+        findings = collect_findings(root)
+        write_baseline(target, findings, previous=baseline)
+        return (
+            f"wrote {len(findings)} suppression(s) to {target} — fill in "
+            "any TODO justifications",
+            0,
+        )
+
+    result = lint_tree(root, baseline)
+    rendered = (
+        render_json(result) if args.format == "json" else render_text(result)
+    )
+    return rendered, result.exit_code
+
+
 _HANDLERS = {
     "table1": _command_table1,
     "run-ba": _command_run_ba,
@@ -227,14 +314,24 @@ _HANDLERS = {
     "tradeoff": _command_tradeoff,
     "crossover": _command_crossover,
     "avalanche": _command_avalanche,
+    "lint": _command_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Handlers return either the report text (exit code 0) or a
+    ``(text, exit_code)`` pair — ``lint`` uses the latter so CI can
+    gate on findings.
+    """
     args = _build_parser().parse_args(argv)
-    print(_HANDLERS[args.command](args))
-    return 0
+    output = _HANDLERS[args.command](args)
+    code = 0
+    if isinstance(output, tuple):
+        output, code = output
+    print(output)
+    return code
 
 
 if __name__ == "__main__":

@@ -7,7 +7,8 @@ yields Byzantine agreement in ``(1 + eps)(t + 1)`` actual rounds with
 ``O(t * n^(k+3) * log |V|)`` message bits, where ``k = ceil(2/eps)``.
 
 This module packages that composition: pick ``k`` directly or via
-``eps``, run, decide.  With ``overhead=1`` (and ``n >= 4t + 1``) the
+``eps``, run, decide.  Resilience: ``n >= 3t + 1``, the corollary's
+Byzantine bound.  With ``overhead=1`` (and ``n >= 4t + 1``) the
 Section 5.6 fast variant applies and ``k = ceil(1/eps)`` suffices.
 """
 

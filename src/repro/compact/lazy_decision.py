@@ -1,5 +1,8 @@
 """Polynomial-space decision evaluation on compressed states.
 
+Resilience: ``n >= 3t + 1``, inherited from the compact protocol and
+the EIG decision rule it evaluates.
+
 The paper concedes a limitation: "A complete reconstruction of the
 local state of processors in a full-information protocol requires
 exponential space and time.  It is straightforward to devise an

@@ -1,0 +1,131 @@
+"""Baseline / suppression file handling.
+
+``tools/lint_baseline.json`` records the findings the repository has
+deliberately accepted, each with a one-line justification.  Entries
+match on ``(rule, path, symbol)`` — not line numbers — so unrelated
+edits to a file do not invalidate them, and every entry must carry a
+non-empty justification: an unexplained suppression is itself a
+process violation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional
+
+from repro.statics.findings import Finding
+from repro.statics.rules import RULES
+
+BASELINE_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """One accepted finding: rule + location identity + justification."""
+
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    @property
+    def key(self) -> str:
+        """Identity matching :attr:`Finding.suppression_key`."""
+        return f"{self.rule}:{self.path}:{self.symbol}"
+
+
+class Baseline:
+    """The set of accepted findings, with bookkeeping for staleness."""
+
+    def __init__(self, suppressions: Iterable[Suppression] = ()):
+        self._by_key: Dict[str, Suppression] = {}
+        for suppression in suppressions:
+            self._by_key[suppression.key] = suppression
+        self._used: Dict[str, bool] = {key: False for key in self._by_key}
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        """Parse a baseline file, validating rule ids and justifications."""
+        data = json.loads(path.read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {data.get('version')!r}"
+            )
+        suppressions = []
+        for raw in data.get("suppressions", []):
+            suppression = Suppression(
+                rule=raw["rule"],
+                path=raw["path"],
+                symbol=raw["symbol"],
+                justification=raw.get("justification", ""),
+            )
+            if suppression.rule not in RULES:
+                raise ValueError(
+                    f"{path}: unknown rule id {suppression.rule!r}"
+                )
+            if not suppression.justification.strip():
+                raise ValueError(
+                    f"{path}: suppression {suppression.key} has no "
+                    "justification"
+                )
+            suppressions.append(suppression)
+        return cls(suppressions)
+
+    def match(self, finding: Finding) -> Optional[Suppression]:
+        """The suppression covering ``finding``, marking it used."""
+        suppression = self._by_key.get(finding.suppression_key)
+        if suppression is not None:
+            self._used[suppression.key] = True
+        return suppression
+
+    def unused(self) -> List[Suppression]:
+        """Entries that matched nothing — candidates for deletion."""
+        return [
+            self._by_key[key]
+            for key in sorted(self._by_key)
+            if not self._used[key]
+        ]
+
+    def justification_for(self, finding: Finding) -> Optional[str]:
+        """The recorded justification for ``finding``'s identity, if any."""
+        suppression = self._by_key.get(finding.suppression_key)
+        return suppression.justification if suppression else None
+
+
+def write_baseline(
+    path: pathlib.Path,
+    findings: Iterable[Finding],
+    previous: Optional[Baseline] = None,
+) -> None:
+    """Write a baseline accepting ``findings``.
+
+    Justifications already recorded for a finding's identity are
+    preserved; new entries get a ``TODO`` placeholder for a human to
+    replace in review — suppressing is deliberate, not automatic.
+    """
+    entries = []
+    seen = set()
+    for finding in sorted(findings):
+        if finding.suppression_key in seen:
+            continue
+        seen.add(finding.suppression_key)
+        justification = None
+        if previous is not None:
+            justification = previous.justification_for(finding)
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "justification": justification
+                or "TODO: justify this suppression",
+            }
+        )
+    path.write_text(
+        json.dumps(
+            {"version": BASELINE_VERSION, "suppressions": entries}, indent=2
+        )
+        + "\n"
+    )

@@ -1,0 +1,370 @@
+"""The contract pass: the catalog agrees with the source tree.
+
+``repro.agreement.interfaces.catalog()`` is the coverage contract of
+this repository: the conformance sweep in
+``tests/integration/test_catalog.py`` runs *every* catalogued protocol
+against the full adversary gallery, so a factory that never gets
+registered silently opts out of that safety net.  This pass
+cross-checks the catalog's AST against the tree without importing or
+executing any protocol code:
+
+* every ``*_factory`` in ``agreement/``, ``compact/`` and
+  ``avalanche/`` is registered in ``catalog()`` or listed (with a
+  justification) in ``CATALOG_EXEMPT``;
+* ``CATALOG_EXEMPT`` names real, genuinely unregistered factories;
+* every non-randomized entry declares a concrete round bound (the
+  sweep cannot bound a run it believes is randomized);
+* every entry's ``supports`` predicate encodes a recognizable
+  resilience bound (``n >= 3t + 1``, ``n >= 4t + 1``, ...) and the
+  module defining the factory states that bound in its docstring, so
+  the registered requirement can never drift from the documented one.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+from typing import Dict, List, Optional, Set
+
+from repro.statics.findings import Finding
+from repro.statics.rules import rule
+from repro.statics.visitor import attribute_chain
+
+#: Packages whose top-level ``*_factory`` functions fall under the
+#: registration contract.
+CONTRACT_PACKAGES = ("agreement", "compact", "avalanche")
+
+#: ``SystemConfig`` helper -> the bound it encodes.
+_QUORUM_HELPERS = {
+    "requires_byzantine_quorum": "3t + 1",
+    "requires_fast_quorum": "4t + 1",
+}
+
+CON001 = rule(
+    "CON001",
+    "contracts",
+    "unregistered factory",
+    "an uncatalogued protocol skips the catalog-wide conformance "
+    "sweep, so nothing checks it against the adversary gallery",
+)
+CON002 = rule(
+    "CON002",
+    "contracts",
+    "stale or contradictory exemption",
+    "CATALOG_EXEMPT must name real, unregistered factories or the "
+    "exemption list itself drifts from the tree",
+)
+CON003 = rule(
+    "CON003",
+    "contracts",
+    "missing round bound",
+    "the sweep bounds deterministic runs by entry.rounds(t); a "
+    "non-randomized entry without one can loop forever unnoticed",
+)
+CON004 = rule(
+    "CON004",
+    "contracts",
+    "resilience bound undeclared or undocumented",
+    "the paper's results are parameterized by n >= 3t + 1 (or 4t + 1 "
+    "for the fast variants); the registered requirement must match "
+    "the module's documented bound",
+)
+
+
+@dataclasses.dataclass
+class CatalogEntry:
+    """The statically extracted shape of one ``ProtocolEntry(...)``."""
+
+    name: str
+    line: int
+    factories: Set[str]
+    rounds_is_none: bool
+    randomized: bool
+    bound: Optional[str]
+
+
+def _lambda_factories(
+    body: ast.AST, helpers: Dict[str, Set[str]]
+) -> Set[str]:
+    found: Set[str] = set()
+    for node in ast.walk(body):
+        if isinstance(node, ast.Name):
+            if node.id.endswith("_factory"):
+                found.add(node.id)
+            elif node.id in helpers:
+                found |= helpers[node.id]
+        elif isinstance(node, ast.Attribute) and node.attr.endswith(
+            "_factory"
+        ):
+            found.add(node.attr)
+    return found
+
+
+def _classify_bound(supports: ast.expr) -> Optional[str]:
+    """The resilience bound a ``supports`` lambda encodes, if recognizable."""
+    if not isinstance(supports, ast.Lambda):
+        return None
+    for node in ast.walk(supports.body):
+        if isinstance(node, ast.Call):
+            chain = attribute_chain(node.func)
+            if chain and chain[-1] in _QUORUM_HELPERS:
+                return _QUORUM_HELPERS[chain[-1]]
+    # Explicit comparisons: config.n >= c * config.t + 1 (or t + 1).
+    for node in ast.walk(supports.body):
+        if not isinstance(node, ast.Compare):
+            continue
+        coefficient = None
+        saw_t = False
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.BinOp)
+                and isinstance(sub.op, ast.Mult)
+                and isinstance(sub.left, ast.Constant)
+                and isinstance(sub.left.value, int)
+            ):
+                coefficient = sub.left.value
+            if isinstance(sub, ast.Attribute) and sub.attr == "t":
+                saw_t = True
+        if saw_t:
+            return f"{coefficient}t + 1" if coefficient else "t + 1"
+    return None
+
+
+def _entry_from_call(
+    call: ast.Call, helpers: Dict[str, Set[str]]
+) -> Optional[CatalogEntry]:
+    keywords = {kw.arg: kw.value for kw in call.keywords if kw.arg}
+    name_node = keywords.get("name")
+    if not (isinstance(name_node, ast.Constant) and isinstance(
+        name_node.value, str
+    )):
+        return None
+    build = keywords.get("build")
+    rounds = keywords.get("rounds")
+    randomized = keywords.get("randomized")
+    supports = keywords.get("supports")
+    return CatalogEntry(
+        name=name_node.value,
+        line=call.lineno,
+        factories=(
+            _lambda_factories(build, helpers) if build is not None else set()
+        ),
+        rounds_is_none=(
+            isinstance(rounds, ast.Lambda)
+            and isinstance(rounds.body, ast.Constant)
+            and rounds.body.value is None
+        ),
+        randomized=(
+            isinstance(randomized, ast.Constant)
+            and randomized.value is True
+        ),
+        bound=_classify_bound(supports) if supports is not None else None,
+    )
+
+
+def parse_catalog(source: str) -> List[CatalogEntry]:
+    """Extract every ``ProtocolEntry(...)`` from ``interfaces.py`` source."""
+    tree = ast.parse(source)
+    catalog_def = next(
+        (
+            node
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef) and node.name == "catalog"
+        ),
+        None,
+    )
+    if catalog_def is None:
+        return []
+    # Local helpers (def or lambda assignment) may wrap a factory; map
+    # one level of indirection: helper name -> factory names inside it.
+    helpers: Dict[str, Set[str]] = {}
+    for node in catalog_def.body:
+        if isinstance(node, ast.FunctionDef):
+            helpers[node.name] = _lambda_factories(node, {})
+        elif (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Lambda)
+        ):
+            helpers[node.targets[0].id] = _lambda_factories(node.value, {})
+    entries = []
+    for node in ast.walk(catalog_def):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "ProtocolEntry"
+        ):
+            entry = _entry_from_call(node, helpers)
+            if entry is not None:
+                entries.append(entry)
+    return entries
+
+
+def parse_exemptions(source: str) -> Dict[str, str]:
+    """The ``CATALOG_EXEMPT`` dict literal from ``interfaces.py`` source."""
+    tree = ast.parse(source)
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "CATALOG_EXEMPT"
+                and isinstance(value, ast.Dict)
+            ):
+                exempt: Dict[str, str] = {}
+                for key, val in zip(value.keys, value.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and isinstance(val, ast.Constant)
+                        and isinstance(val.value, str)
+                    ):
+                        exempt[key.value] = val.value
+                return exempt
+    return {}
+
+
+def tree_factories(package_root: pathlib.Path) -> Dict[str, pathlib.Path]:
+    """Every top-level ``*_factory`` def under the contract packages."""
+    factories: Dict[str, pathlib.Path] = {}
+    for package in CONTRACT_PACKAGES:
+        directory = package_root / package
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in tree.body:
+                if isinstance(node, ast.FunctionDef) and node.name.endswith(
+                    "_factory"
+                ):
+                    factories[node.name] = path
+    return factories
+
+
+def _bound_documented(docstring: str, bound: str) -> bool:
+    # "3t + 1" matches "3t + 1", "3t+1" and "3 * t + 1"; an explicitly
+    # negated mention ("no 3t + 1 bound") does not count.
+    coefficient = bound.split("t")[0].strip()
+    spaced = coefficient + r"\s*\*?\s*t\s*\+\s*1" if coefficient else r"\bt\s*\+\s*1"
+    text = " ".join(docstring.split())
+    for match in re.finditer(spaced, text):
+        prefix = text[: match.start()].rstrip().lower()
+        if prefix.endswith("no") or prefix.endswith("not"):
+            continue
+        # "43t + 1" must not satisfy a query for "3t + 1".
+        if match.start() > 0 and text[match.start() - 1].isdigit():
+            continue
+        return True
+    return False
+
+
+def run_contract_pass(package_root: pathlib.Path) -> List[Finding]:
+    """Cross-check the catalog against the tree rooted at ``package_root``.
+
+    ``package_root`` is the directory of the ``repro`` package itself
+    (or a fixture tree of the same shape).  Returns all contract
+    findings; an absent ``agreement/interfaces.py`` yields none, so
+    fixture trees exercising only the other passes stay valid.
+    """
+    interfaces_path = package_root / "agreement" / "interfaces.py"
+    if not interfaces_path.is_file():
+        return []
+    prefix = package_root.name
+    relative = f"{prefix}/agreement/interfaces.py"
+    source = interfaces_path.read_text()
+    entries = parse_catalog(source)
+    exemptions = parse_exemptions(source)
+    factories = tree_factories(package_root)
+    registered: Set[str] = set()
+    for entry in entries:
+        registered |= entry.factories
+
+    findings: List[Finding] = []
+
+    def add(
+        rule_obj, line: int, symbol: str, message: str, path: str = relative
+    ) -> None:
+        findings.append(
+            Finding(
+                path=path,
+                line=line,
+                col=0,
+                rule=rule_obj.id,
+                symbol=symbol,
+                message=message,
+            )
+        )
+
+    for name, path in sorted(factories.items()):
+        if name not in registered and name not in exemptions:
+            add(
+                CON001,
+                1,
+                name,
+                f"{name} (defined in "
+                f"{prefix}/{path.relative_to(package_root)}) is neither "
+                "registered in catalog() nor exempted in CATALOG_EXEMPT",
+                path=f"{prefix}/{path.relative_to(package_root)}",
+            )
+    for name in sorted(exemptions):
+        if name not in factories:
+            add(
+                CON002,
+                1,
+                name,
+                f"CATALOG_EXEMPT lists {name}, which no contract package "
+                "defines",
+            )
+        elif name in registered:
+            add(
+                CON002,
+                1,
+                name,
+                f"CATALOG_EXEMPT lists {name}, but catalog() registers it "
+                "— remove the stale exemption",
+            )
+
+    for entry in entries:
+        if entry.rounds_is_none and not entry.randomized:
+            add(
+                CON003,
+                entry.line,
+                entry.name,
+                f"entry {entry.name!r} is not randomized but declares no "
+                "round bound (rounds=lambda t: None)",
+            )
+        if entry.bound is None:
+            add(
+                CON004,
+                entry.line,
+                entry.name,
+                f"entry {entry.name!r}: supports predicate does not encode "
+                "a recognizable n >= c*t + 1 resilience bound",
+            )
+            continue
+        for factory in sorted(entry.factories):
+            module = factories.get(factory)
+            if module is None:
+                continue
+            docstring = (
+                ast.get_docstring(ast.parse(module.read_text())) or ""
+            )
+            if not _bound_documented(docstring, entry.bound):
+                add(
+                    CON004,
+                    entry.line,
+                    entry.name,
+                    f"entry {entry.name!r} requires n >= {entry.bound} but "
+                    f"the docstring of "
+                    f"{prefix}/{module.relative_to(package_root)} never "
+                    "states that bound",
+                )
+    return findings

@@ -1,0 +1,40 @@
+"""The unit of lint output: one finding at one source location."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line``.
+
+    ``symbol`` is the dotted lexical context (``Class.method`` or a
+    function name, ``<module>`` at top level); baseline suppressions
+    match on ``(rule, path, symbol)`` rather than on line numbers so
+    they survive unrelated edits to the file.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    symbol: str
+    message: str
+
+    @property
+    def suppression_key(self) -> str:
+        """The stable identity used by the baseline file."""
+        return f"{self.rule}:{self.path}:{self.symbol}"
+
+    def to_json(self) -> Dict[str, Any]:
+        """The machine-readable form emitted by ``--format json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }

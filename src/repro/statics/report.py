@@ -1,0 +1,59 @@
+"""Text and JSON rendering of lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.statics.rules import RULES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.statics.runner import LintResult
+
+#: Bumped whenever the JSON schema changes shape; consumers should
+#: reject versions they do not know.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: "LintResult") -> str:
+    """Human-readable report: one ``path:line:col rule message`` per line."""
+    lines = []
+    for finding in result.findings:
+        title = RULES[finding.rule].title if finding.rule in RULES else ""
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} [{title}] {finding.message} "
+            f"(in {finding.symbol})"
+        )
+    for suppression in result.unused_suppressions:
+        lines.append(
+            f"warning: baseline entry {suppression.key} matched nothing "
+            "— delete it"
+        )
+    count = len(result.findings)
+    suppressed = len(result.suppressed)
+    if count:
+        lines.append(
+            f"{count} finding{'s' if count != 1 else ''} "
+            f"({suppressed} suppressed by baseline)"
+        )
+    else:
+        lines.append(f"clean ({suppressed} suppressed by baseline)")
+    return "\n".join(lines)
+
+
+def render_json(result: "LintResult") -> str:
+    """Machine-readable report — see ``docs/statics.md`` for the schema."""
+    return json.dumps(
+        {
+            "version": JSON_SCHEMA_VERSION,
+            "findings": [finding.to_json() for finding in result.findings],
+            "suppressed": [
+                finding.to_json() for finding in result.suppressed
+            ],
+            "unused_suppressions": [
+                suppression.key for suppression in result.unused_suppressions
+            ],
+        },
+        indent=2,
+    )

@@ -1,0 +1,109 @@
+"""Pass orchestration: discover files, run passes, apply the baseline.
+
+The scanned scope is deliberately the *protocol* packages — ``core``,
+``agreement``, ``avalanche``, ``compact``, ``fullinfo`` — because
+those implement the objects the paper's theorems quantify over.  The
+runtime (network, metering, checkpointing) legitimately does I/O and
+is linted only by the general toolchain (ruff/mypy), not by protolint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+from typing import List, Optional
+
+from repro.statics.baseline import Baseline, Suppression
+from repro.statics.contracts import run_contract_pass
+from repro.statics.determinism import run_determinism_pass
+from repro.statics.findings import Finding
+from repro.statics.purity import run_purity_pass
+
+#: The packages whose files get the determinism and purity passes.
+PROTOCOL_PACKAGES = ("core", "agreement", "avalanche", "compact", "fullinfo")
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    ``findings`` are actionable (unsuppressed); ``suppressed`` matched
+    a baseline entry; ``unused_suppressions`` are baseline entries
+    that matched nothing and should be deleted.
+    """
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    unused_suppressions: List[Suppression]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean; 1 when any unsuppressed finding exists."""
+        return 1 if self.findings else 0
+
+
+def default_package_root() -> pathlib.Path:
+    """The installed ``repro`` package directory (the default scan root)."""
+    import repro
+
+    return pathlib.Path(repro.__file__).resolve().parent
+
+
+def collect_findings(package_root: pathlib.Path) -> List[Finding]:
+    """Run every pass over the tree rooted at ``package_root``."""
+    findings: List[Finding] = []
+    prefix = package_root.name
+    for package in PROTOCOL_PACKAGES:
+        directory = package_root / package
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.rglob("*.py")):
+            relative = f"{prefix}/{path.relative_to(package_root)}"
+            source = path.read_text()
+            findings.extend(run_determinism_pass(source, relative))
+            findings.extend(run_purity_pass(source, relative))
+    findings.extend(run_contract_pass(package_root))
+    return sorted(findings)
+
+
+def lint_tree(
+    package_root: Optional[pathlib.Path] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint ``package_root`` (default: the installed ``repro`` package)."""
+    root = package_root if package_root is not None else default_package_root()
+    if not root.is_dir():
+        raise FileNotFoundError(f"lint root {root} is not a directory")
+    baseline = baseline if baseline is not None else Baseline()
+    actionable: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in collect_findings(root):
+        if baseline.match(finding) is not None:
+            suppressed.append(finding)
+        else:
+            actionable.append(finding)
+    return LintResult(
+        findings=actionable,
+        suppressed=suppressed,
+        unused_suppressions=baseline.unused(),
+    )
+
+
+def find_default_baseline(
+    package_root: pathlib.Path,
+) -> Optional[pathlib.Path]:
+    """Locate ``tools/lint_baseline.json`` near the tree being linted.
+
+    Checked in order: the current working directory's ``tools/``
+    (developer runs from the repo root), then the checkout the package
+    lives in (``package_root/../../tools``, i.e. ``src/repro`` ->
+    repo root).  Returns ``None`` when neither exists.
+    """
+    candidates = [
+        pathlib.Path.cwd() / "tools" / "lint_baseline.json",
+        package_root.parent.parent / "tools" / "lint_baseline.json",
+    ]
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    return None

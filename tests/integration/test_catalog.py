@@ -79,3 +79,41 @@ class TestCatalogStructure:
         for entry in catalog():
             assert entry.supports(SystemConfig(n=50, t=2))
             assert not entry.supports(SystemConfig(n=4, t=3))
+
+
+class TestCatalogContract:
+    """The contract pass of ``repro.statics`` as a meta-test.
+
+    Catalog drift (an unregistered factory, a stale exemption, a
+    missing round bound, an undocumented resilience requirement)
+    fails here even when nobody runs ``repro lint``.
+    """
+
+    def test_catalog_agrees_with_source_tree(self):
+        import pathlib
+
+        import repro
+        from repro.statics.contracts import run_contract_pass
+
+        package_root = pathlib.Path(repro.__file__).resolve().parent
+        findings = run_contract_pass(package_root)
+        assert findings == [], "\n".join(
+            f"{f.rule} {f.path}: {f.message}" for f in findings
+        )
+
+    def test_every_factory_registered_or_exempted_is_disjoint(self):
+        import pathlib
+
+        import repro
+        from repro.agreement.interfaces import CATALOG_EXEMPT
+        from repro.statics.contracts import parse_catalog, tree_factories
+
+        package_root = pathlib.Path(repro.__file__).resolve().parent
+        interfaces = package_root / "agreement" / "interfaces.py"
+        registered = set()
+        for entry in parse_catalog(interfaces.read_text()):
+            registered |= entry.factories
+        factories = set(tree_factories(package_root))
+        assert registered <= factories
+        assert not registered & set(CATALOG_EXEMPT)
+        assert registered | set(CATALOG_EXEMPT) == factories

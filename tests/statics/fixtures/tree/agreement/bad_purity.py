@@ -1,0 +1,31 @@
+"""Fixture: purity violations in an automaton subclass and a factory.
+
+Never imported — ``AutomatonProtocol`` here is resolved by name only.
+"""
+
+CACHE = {}
+
+
+class ImpureAutomaton(AutomatonProtocol):  # noqa: F821 - parsed, never run
+    def message(self, sender, receiver, state, extras=[]):
+        print(state)
+        self.last = state
+        return state
+
+    def transition(self, process_id, messages):
+        global CACHE
+        CACHE[process_id] = messages
+        return messages
+
+    def decision(self, process_id, state):
+        open("decisions.log")
+        return state
+
+
+def impure_factory(config, log=[]):
+    print("building")
+
+    def factory(process_id, config, input_value):
+        return None
+
+    return factory

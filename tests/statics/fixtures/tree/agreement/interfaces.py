@@ -1,0 +1,19 @@
+"""Fixture catalog: one entry violating CON003 and CON004, one stale
+exemption violating CON002."""
+
+CATALOG_EXEMPT = {
+    "ghost_factory": "exempts a factory that does not exist (CON002)",
+    "impure_factory": "a valid exemption: the purity fixture's factory "
+    "is deliberately uncatalogued",
+}
+
+
+def catalog():
+    return [
+        ProtocolEntry(  # noqa: F821 - parsed, never run
+            name="registered",
+            build=lambda config, alphabet, seed: registered_factory(),  # noqa: F821
+            rounds=lambda t: None,
+            supports=lambda config: True,
+        ),
+    ]

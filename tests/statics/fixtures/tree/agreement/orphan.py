@@ -1,0 +1,9 @@
+"""Fixture: ``orphan_factory`` is neither registered nor exempted."""
+
+
+def orphan_factory():
+    """An agreement factory the catalog forgot (CON001)."""
+
+
+def registered_factory():
+    """The factory the fixture catalog registers."""

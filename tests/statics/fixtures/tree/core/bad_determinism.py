@@ -1,0 +1,31 @@
+"""Fixture: every determinism rule fires in this module.
+
+Never imported — the lint tests feed it to the passes as text.
+"""
+
+import random
+import time
+from os import urandom
+
+import numpy as np
+
+
+def coin():
+    random.random()
+    time.time()
+    urandom(8)
+    return np.random.default_rng()
+
+
+def first(values):
+    for value in set(values):
+        return value
+    return next(iter(values))
+
+
+class Tracker:
+    def __init__(self):
+        self.pending: set = set()
+
+    def drain(self):
+        return self.pending.pop()

@@ -1,0 +1,93 @@
+"""The contract pass: fixture-tree violations and real-catalog parsing."""
+
+import pathlib
+
+from repro.statics.contracts import (
+    parse_catalog,
+    parse_exemptions,
+    run_contract_pass,
+    tree_factories,
+)
+
+FIXTURE_TREE = pathlib.Path(__file__).parent / "fixtures" / "tree"
+REAL_INTERFACES = (
+    pathlib.Path(__file__).parent.parent.parent
+    / "src"
+    / "repro"
+    / "agreement"
+    / "interfaces.py"
+)
+
+
+class TestFixtureTree:
+    def test_reports_each_contract_violation(self):
+        by_rule = {}
+        for finding in run_contract_pass(FIXTURE_TREE):
+            by_rule.setdefault(finding.rule, []).append(finding)
+        assert {f.symbol for f in by_rule["CON001"]} == {"orphan_factory"}
+        assert {f.symbol for f in by_rule["CON002"]} == {"ghost_factory"}
+        assert {f.symbol for f in by_rule["CON003"]} == {"registered"}
+        assert {f.symbol for f in by_rule["CON004"]} == {"registered"}
+
+    def test_unregistered_factory_points_at_its_module(self):
+        (finding,) = [
+            f for f in run_contract_pass(FIXTURE_TREE) if f.rule == "CON001"
+        ]
+        assert finding.path == "tree/agreement/orphan.py"
+
+    def test_catalog_entry_findings_carry_the_entry_line(self):
+        con003 = [
+            f for f in run_contract_pass(FIXTURE_TREE) if f.rule == "CON003"
+        ]
+        source = (FIXTURE_TREE / "agreement" / "interfaces.py").read_text()
+        entry_line = source.splitlines().index(
+            "        ProtocolEntry(  # noqa: F821 - parsed, never run"
+        ) + 1
+        assert [f.line for f in con003] == [entry_line]
+
+
+class TestRealCatalogParsing:
+    def test_every_entry_is_extracted(self):
+        entries = parse_catalog(REAL_INTERFACES.read_text())
+        names = {entry.name for entry in entries}
+        assert "compact BA (k=1)" in names
+        assert "Ben-Or" in names
+        assert len(entries) >= 10
+
+    def test_bounds_are_classified(self):
+        entries = {
+            entry.name: entry
+            for entry in parse_catalog(REAL_INTERFACES.read_text())
+        }
+        assert entries["compact BA (k=1)"].bound == "3t + 1"
+        assert entries["Phase Queen"].bound == "4t + 1"
+        assert entries["Dolev-Strong (authenticated)"].bound == "2t + 1"
+
+    def test_randomized_and_rounds_flags(self):
+        entries = {
+            entry.name: entry
+            for entry in parse_catalog(REAL_INTERFACES.read_text())
+        }
+        assert entries["Ben-Or"].randomized
+        assert entries["Ben-Or"].rounds_is_none
+        assert not entries["compact BA (k=2)"].rounds_is_none
+
+    def test_helper_indirection_resolves_to_factory(self):
+        entries = {
+            entry.name: entry
+            for entry in parse_catalog(REAL_INTERFACES.read_text())
+        }
+        assert "auth_compact_ba_factory" in entries[
+            "compact BA (authenticated, k=1)"
+        ].factories
+
+    def test_exemptions_parse(self):
+        exemptions = parse_exemptions(REAL_INTERFACES.read_text())
+        assert "avalanche_factory" in exemptions
+        assert all(reason.strip() for reason in exemptions.values())
+
+    def test_tree_factories_finds_known_modules(self):
+        factories = tree_factories(REAL_INTERFACES.parent.parent)
+        assert "ben_or_factory" in factories
+        assert "compact_ba_factory" in factories
+        assert "avalanche_factory" in factories

@@ -1,0 +1,75 @@
+"""The purity pass flags every planted violation, at the right place."""
+
+import pathlib
+
+from repro.statics.purity import run_purity_pass
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "tree"
+SOURCE = (FIXTURES / "agreement" / "bad_purity.py").read_text()
+
+
+def findings():
+    return run_purity_pass(SOURCE, "tree/agreement/bad_purity.py")
+
+
+def test_reports_every_planted_violation():
+    got = {(f.rule, f.line) for f in findings()}
+    assert got == {
+        ("PUR003", 10),  # message(..., extras=[])
+        ("PUR001", 11),  # print(state)
+        ("PUR004", 12),  # self.last = state
+        ("PUR002", 16),  # global CACHE
+        ("PUR002", 17),  # CACHE[process_id] = ...
+        ("PUR001", 21),  # open(...)
+        ("PUR003", 25),  # impure_factory(..., log=[])
+        ("PUR001", 26),  # print("building")
+    }
+
+
+def test_symbols_name_method_and_factory():
+    symbols = {f.symbol for f in findings()}
+    assert "ImpureAutomaton.message" in symbols
+    assert "ImpureAutomaton.transition" in symbols
+    assert "ImpureAutomaton.decision" in symbols
+    assert "impure_factory" in symbols
+
+
+def test_non_automaton_methods_are_out_of_scope():
+    source = (
+        "class Helper:\n"
+        "    def message(self, sender, receiver, state):\n"
+        "        print(state)  # not an AutomatonProtocol subclass\n"
+    )
+    assert run_purity_pass(source, "x.py") == []
+
+
+def test_transitive_subclass_in_same_file_is_in_scope():
+    source = (
+        "class Base(AutomatonProtocol):\n"
+        "    pass\n"
+        "class Derived(Base):\n"
+        "    def decision(self, process_id, state):\n"
+        "        self.cache = state\n"
+        "        return state\n"
+    )
+    findings = run_purity_pass(source, "x.py")
+    assert [(f.rule, f.symbol) for f in findings] == [
+        ("PUR004", "Derived.decision")
+    ]
+
+
+def test_pure_automaton_is_clean():
+    source = (
+        "class Clean(AutomatonProtocol):\n"
+        "    def message(self, sender, receiver, state):\n"
+        "        return state\n"
+        "    def transition(self, process_id, messages):\n"
+        "        return tuple(messages)\n"
+        "    def decision(self, process_id, state):\n"
+        "        return state[0]\n"
+        "def clean_factory(default=0):\n"
+        "    def factory(process_id, config, input_value):\n"
+        "        return (process_id, input_value, default)\n"
+        "    return factory\n"
+    )
+    assert run_purity_pass(source, "x.py") == []

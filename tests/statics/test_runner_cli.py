@@ -1,0 +1,171 @@
+"""Integration: ``repro lint`` on the real tree and on the fixtures.
+
+This is the acceptance contract of the subsystem: exit 0 with zero
+unsuppressed findings on the repository itself, exit 1 on the planted
+violations, machine-readable JSON, and a working baseline workflow.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.statics.baseline import Baseline, write_baseline
+from repro.statics.runner import lint_tree
+
+REPO = pathlib.Path(__file__).parent.parent.parent
+PACKAGE_ROOT = REPO / "src" / "repro"
+BASELINE = REPO / "tools" / "lint_baseline.json"
+FIXTURE_TREE = pathlib.Path(__file__).parent / "fixtures" / "tree"
+
+
+def run_lint(capsys, *argv):
+    code = main(["lint", *argv])
+    return code, capsys.readouterr().out
+
+
+class TestRealTree:
+    def test_exits_zero_with_committed_baseline(self, capsys):
+        code, out = run_lint(
+            capsys, "--root", str(PACKAGE_ROOT), "--baseline", str(BASELINE)
+        )
+        assert code == 0, out
+        assert "clean" in out
+
+    def test_no_unused_baseline_entries(self):
+        result = lint_tree(PACKAGE_ROOT, Baseline.load(BASELINE))
+        assert result.unused_suppressions == []
+
+    def test_every_suppression_still_matches_a_real_finding(self):
+        result = lint_tree(PACKAGE_ROOT, Baseline.load(BASELINE))
+        assert len(result.suppressed) == len(
+            json.loads(BASELINE.read_text())["suppressions"]
+        )
+
+
+class TestFixtureTree:
+    def test_exits_nonzero(self, capsys):
+        code, out = run_lint(capsys, "--root", str(FIXTURE_TREE))
+        assert code == 1
+        assert "DET001" in out and "PUR001" in out and "CON001" in out
+
+    def test_json_schema(self, capsys):
+        code, out = run_lint(
+            capsys, "--root", str(FIXTURE_TREE), "--format", "json"
+        )
+        assert code == 1
+        report = json.loads(out)
+        assert report["version"] == 1
+        assert report["findings"], "fixture tree must produce findings"
+        for finding in report["findings"]:
+            assert set(finding) == {
+                "rule",
+                "path",
+                "line",
+                "col",
+                "symbol",
+                "message",
+            }
+            assert finding["rule"][:3] in ("DET", "PUR", "CON")
+            assert finding["line"] >= 1
+        rules = {finding["rule"] for finding in report["findings"]}
+        assert {"DET001", "DET004", "PUR003", "CON001"} <= rules
+
+    def test_update_baseline_then_clean(self, capsys, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        code, out = run_lint(
+            capsys,
+            "--root",
+            str(FIXTURE_TREE),
+            "--baseline",
+            str(baseline_path),
+            "--update-baseline",
+        )
+        assert code == 0  # creates the baseline file
+        assert "TODO" in out
+        code, out = run_lint(
+            capsys, "--root", str(FIXTURE_TREE), "--baseline", str(baseline_path)
+        )
+        assert code == 0, out
+        assert "suppressed by baseline" in out
+
+    def test_suppressed_findings_are_reported_in_json(self, capsys, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_tree(FIXTURE_TREE).findings)
+        code, out = run_lint(
+            capsys,
+            "--root",
+            str(FIXTURE_TREE),
+            "--baseline",
+            str(baseline_path),
+            "--format",
+            "json",
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["findings"] == []
+        assert report["suppressed"]
+
+
+class TestErrorHandling:
+    def test_bad_root_exits_two(self, capsys):
+        code, out = run_lint(capsys, "--root", "/nonexistent/path")
+        assert code == 2
+        assert "error" in out
+
+    def test_unknown_rule_in_baseline_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "suppressions": [
+                        {
+                            "rule": "NOPE99",
+                            "path": "x.py",
+                            "symbol": "f",
+                            "justification": "bogus",
+                        }
+                    ],
+                }
+            )
+        )
+        code, out = run_lint(
+            capsys, "--root", str(FIXTURE_TREE), "--baseline", str(bad)
+        )
+        assert code == 2
+        assert "unknown rule" in out
+
+    def test_missing_justification_is_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "suppressions": [
+                        {
+                            "rule": "DET001",
+                            "path": "x.py",
+                            "symbol": "f",
+                            "justification": "  ",
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(bad)
+
+
+class TestToolsEntryPoint:
+    def test_run_lint_script_on_real_tree(self, capsys):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "run_lint", REPO / "tools" / "run_lint.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.main([]) == 0
+        assert "clean" in capsys.readouterr().out
