@@ -1,0 +1,327 @@
+"""The ``repro bench`` perf-trajectory harness.
+
+Every paper claim this repository checks is an *aggregate* over grids
+of executions, so the quantity that decides whether the reproduction
+scales is sweep throughput.  This module runs a small curated suite —
+avalanche agreement, compact Byzantine agreement, and the
+full-information/compact crossover — through
+:func:`repro.analysis.sweeps.sweep` at a chosen worker count, and
+writes a machine-readable ``BENCH_<date>.json`` so that every future
+change has a recorded perf baseline to compare against (wall time,
+executions/sec, metered bits, round counts).
+
+The JSON schema is documented in ``docs/perf.md``; bump
+:data:`SCHEMA_VERSION` on incompatible changes.  Bit totals and round
+counts double as cheap regression tripwires: they are deterministic,
+so a drift between two bench files signals a semantic change, not
+noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import json
+import pathlib
+import platform
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.sweeps import SweepReport, standard_adversary_makers, sweep
+from repro.core.predicates import byzantine_agreement_predicate
+from repro.types import SystemConfig
+
+SCHEMA_VERSION = 1
+
+#: Default number of pool workers when the caller does not choose.
+DEFAULT_WORKERS = 1
+
+
+@dataclasses.dataclass
+class SuiteResult:
+    """One suite's aggregate measurements."""
+
+    name: str
+    wall_time_s: float
+    executions: int
+    total_bits: int
+    max_rounds: int
+    violations: int
+    errors: int
+    details: Dict[str, Any]
+
+    @property
+    def executions_per_sec(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.executions / self.wall_time_s
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "executions": self.executions,
+            "executions_per_sec": round(self.executions_per_sec, 3),
+            "total_bits": self.total_bits,
+            "max_rounds": self.max_rounds,
+            "violations": self.violations,
+            "errors": self.errors,
+            "details": self.details,
+        }
+
+
+def _timed_sweep(
+    run: Callable[[], SweepReport],
+) -> Tuple[SweepReport, float]:
+    start = time.perf_counter()
+    report = run()
+    return report, time.perf_counter() - start
+
+
+def _patterns(config: SystemConfig, count: int) -> List[Dict[int, int]]:
+    """``count`` deterministic mixed binary input patterns."""
+    return [
+        {p: (p + shift) % 2 for p in config.process_ids}
+        for shift in range(count)
+    ]
+
+
+def _suite_result(
+    name: str,
+    report: SweepReport,
+    elapsed: float,
+    details: Dict[str, Any],
+) -> SuiteResult:
+    return SuiteResult(
+        name=name,
+        wall_time_s=elapsed,
+        executions=report.executions,
+        total_bits=report.total_bits(),
+        max_rounds=report.max_rounds(),
+        violations=len(report.violations),
+        errors=len(report.errors),
+        details=details,
+    )
+
+
+def bench_avalanche(quick: bool, workers: int) -> SuiteResult:
+    """Avalanche agreement (Protocol 2) across the Byzantine gallery.
+
+    Cells are individually cheap, so this suite stresses per-round
+    overhead (delivery maps, metering) and executor fan-out cost.
+    """
+    from repro.avalanche.protocol import avalanche_factory
+
+    config = SystemConfig(n=7, t=2) if quick else SystemConfig(n=13, t=4)
+    fault_sets: Sequence[Tuple[int, ...]] = (
+        [(1, 2)] if quick
+        else [(1, 2, 3, 4), (10, 11, 12, 13)]
+    )
+    report, elapsed = _timed_sweep(lambda: sweep(
+        avalanche_factory(),
+        config,
+        input_patterns=_patterns(config, 1 if quick else 2),
+        fault_sets=fault_sets,
+        adversary_makers=standard_adversary_makers(),
+        seeds=(0, 1) if quick else (0, 1, 2, 3, 4),
+        run_full_rounds=8,
+        workers=workers,
+    ))
+    return _suite_result(
+        "avalanche", report, elapsed,
+        {"n": config.n, "t": config.t, "rounds_per_execution": 8},
+    )
+
+
+def bench_compact_ba(quick: bool, workers: int) -> SuiteResult:
+    """Compact Byzantine agreement (Corollary 10), predicate-checked.
+
+    The heavyweight suite: each cell runs the block simulation with
+    exact bit metering, which is the hot path Table-1-scale
+    regeneration leans on.
+    """
+    from repro.compact.byzantine_agreement import (
+        compact_ba_factory,
+        compact_ba_rounds,
+    )
+    from repro.compact.payload import compact_sizer, payload_is_null
+
+    config = SystemConfig(n=7, t=2) if quick else SystemConfig(n=10, t=3)
+    fault_sets: Sequence[Tuple[int, ...]] = (
+        [(1, 2)] if quick else [(1, 2, 3), (8, 9, 10)]
+    )
+    factory = compact_ba_factory(config, [0, 1], default=0, k=1)
+    report, elapsed = _timed_sweep(lambda: sweep(
+        factory,
+        config,
+        input_patterns=_patterns(config, 1 if quick else 2),
+        fault_sets=fault_sets,
+        adversary_makers=standard_adversary_makers(),
+        seeds=(0,) if quick else (0, 1),
+        predicate=byzantine_agreement_predicate(),
+        max_rounds=compact_ba_rounds(config.t, 1) + 1,
+        sizer=compact_sizer(config, 2),
+        is_null=payload_is_null,
+        workers=workers,
+    ))
+    return _suite_result(
+        "compact-ba", report, elapsed, {"n": config.n, "t": config.t, "k": 1},
+    )
+
+
+def bench_fullinfo_crossover(quick: bool, workers: int) -> SuiteResult:
+    """The exponential-vs-polynomial crossover, measured end to end.
+
+    Runs the same grid through the exponential full-information
+    baseline (EIG) and the compact protocol and records both bit
+    totals — the measured counterpart of the ``crossover`` figure.
+    """
+    from repro.agreement.eig_agreement import eig_agreement_factory
+    from repro.compact.byzantine_agreement import (
+        compact_ba_factory,
+        compact_ba_rounds,
+    )
+    from repro.compact.payload import compact_sizer, payload_is_null
+    from repro.fullinfo.protocol import full_information_sizer
+
+    config = SystemConfig(n=4, t=1) if quick else SystemConfig(n=7, t=2)
+    fault_sets: Sequence[Tuple[int, ...]] = [(1,)] if quick else [(1, 2)]
+    makers = standard_adversary_makers()
+    seeds = (0,) if quick else (0, 1)
+    grid = dict(
+        input_patterns=_patterns(config, 1),
+        fault_sets=fault_sets,
+        adversary_makers=makers,
+        seeds=seeds,
+        predicate=byzantine_agreement_predicate(),
+        workers=workers,
+    )
+
+    eig_report, eig_elapsed = _timed_sweep(lambda: sweep(
+        eig_agreement_factory(config, [0, 1], default=0),
+        config,
+        max_rounds=config.t + 2,
+        sizer=full_information_sizer(2, config.n),
+        **grid,
+    ))
+    compact_factory = compact_ba_factory(config, [0, 1], default=0, k=1)
+    compact_report, compact_elapsed = _timed_sweep(lambda: sweep(
+        compact_factory,
+        config,
+        max_rounds=compact_ba_rounds(config.t, 1) + 1,
+        sizer=compact_sizer(config, 2),
+        is_null=payload_is_null,
+        **grid,
+    ))
+
+    eig_bits = eig_report.total_bits()
+    compact_bits = compact_report.total_bits()
+    merged = SweepReport(eig_report.outcomes + compact_report.outcomes)
+    return _suite_result(
+        "fullinfo-crossover",
+        merged,
+        eig_elapsed + compact_elapsed,
+        {
+            "n": config.n,
+            "t": config.t,
+            "eig_bits": eig_bits,
+            "compact_bits": compact_bits,
+            "bits_ratio_eig_over_compact": (
+                round(eig_bits / compact_bits, 4) if compact_bits else None
+            ),
+            "eig_max_rounds": eig_report.max_rounds(),
+            "compact_max_rounds": compact_report.max_rounds(),
+        },
+    )
+
+
+#: The curated suite registry, in canonical run order.
+SUITES: Dict[str, Callable[[bool, int], SuiteResult]] = {
+    "avalanche": bench_avalanche,
+    "compact-ba": bench_compact_ba,
+    "fullinfo-crossover": bench_fullinfo_crossover,
+}
+
+
+def run_bench(
+    suites: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    workers: int = DEFAULT_WORKERS,
+) -> Dict[str, Any]:
+    """Run the selected suites; returns the full JSON-ready report."""
+    names = list(suites) if suites else list(SUITES)
+    unknown = [name for name in names if name not in SUITES]
+    if unknown:
+        raise KeyError(
+            f"unknown bench suite(s) {unknown}; known: {sorted(SUITES)}"
+        )
+    results = [SUITES[name](quick, workers) for name in names]
+    total_time = sum(result.wall_time_s for result in results)
+    total_executions = sum(result.executions for result in results)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_at": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "quick": quick,
+        "workers": workers,
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "suites": [result.to_json() for result in results],
+        "totals": {
+            "wall_time_s": round(total_time, 6),
+            "executions": total_executions,
+            "executions_per_sec": (
+                round(total_executions / total_time, 3) if total_time else 0.0
+            ),
+            "total_bits": sum(result.total_bits for result in results),
+            "max_rounds": max(
+                (result.max_rounds for result in results), default=0
+            ),
+            "violations": sum(result.violations for result in results),
+            "errors": sum(result.errors for result in results),
+        },
+    }
+
+
+def default_output_path(
+    directory: Optional[pathlib.Path] = None,
+) -> pathlib.Path:
+    """``BENCH_<YYYY-MM-DD>.json`` in ``directory`` (default: cwd)."""
+    base = directory if directory is not None else pathlib.Path.cwd()
+    stamp = datetime.date.today().isoformat()
+    return base / f"BENCH_{stamp}.json"
+
+
+def write_report(report: Dict[str, Any], path: pathlib.Path) -> pathlib.Path:
+    """Write ``report`` as pretty JSON; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary of a bench report (the CLI's stdout)."""
+    lines = [
+        f"repro bench — {report['generated_at']} "
+        f"(workers={report['workers']}, "
+        f"{'quick' if report['quick'] else 'full'} suite)",
+        "",
+        f"{'suite':<22} {'time(s)':>8} {'execs':>6} {'exec/s':>8} "
+        f"{'bits':>12} {'rounds':>6} {'viol':>5}",
+    ]
+    for suite in report["suites"]:
+        lines.append(
+            f"{suite['name']:<22} {suite['wall_time_s']:>8.3f} "
+            f"{suite['executions']:>6} {suite['executions_per_sec']:>8.1f} "
+            f"{suite['total_bits']:>12} {suite['max_rounds']:>6} "
+            f"{suite['violations']:>5}"
+        )
+    totals = report["totals"]
+    lines.append(
+        f"{'TOTAL':<22} {totals['wall_time_s']:>8.3f} "
+        f"{totals['executions']:>6} {totals['executions_per_sec']:>8.1f} "
+        f"{totals['total_bits']:>12} {totals['max_rounds']:>6} "
+        f"{totals['violations']:>5}"
+    )
+    return "\n".join(lines)

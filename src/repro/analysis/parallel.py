@@ -1,0 +1,384 @@
+"""Process-pool execution of sweep grids.
+
+A sweep grid (inputs x fault sets x adversaries x seeds) is
+embarrassingly parallel: every cell runs an independent execution
+whose randomness is fully determined by the cell's own seed (the
+engine derives all substreams through
+:func:`repro.runtime.rng.derive_rng`), and cells never communicate.
+This module fans the cells out over a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping one hard
+guarantee: **the report is a pure function of the grid**, byte-for-byte
+identical for any worker count, including the in-process ``workers=1``
+reference path.
+
+Determinism is engineered, not assumed:
+
+* every cell is described by a picklable :class:`SweepCell` value;
+* a cell's execution depends only on the cell and the shared
+  :class:`SweepContext` (fresh adversary per cell, seed-derived RNG);
+* results are collected in submission order (never completion order),
+  so chunking and scheduling cannot reorder outcomes;
+* both the serial and the pooled paths run the *same* per-cell
+  function, :func:`run_cell`, with the same portability rules.
+
+Portability: sweep contexts hold closures (factories, decision rules)
+that pickle refuses, so the pool uses the ``fork`` start method and
+shares the context by process inheritance through a module global —
+which in turn is why the worker entry points below must live at module
+level (``fork`` workers resolve the submitted callable by qualified
+name).  Where ``fork`` is unavailable or the pool cannot start, the
+executor degrades gracefully to the serial path with a warning rather
+than failing the sweep.
+
+Results are made *portable* before crossing the process boundary:
+live :class:`~repro.runtime.node.Process` objects (which may hold
+unpicklable closures) are replaced by :class:`ProcessSummary` stubs
+and traces are dropped — the same stripping
+:mod:`repro.runtime.checkpoint` applies when persisting results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.analysis.sweeps import AdversaryMaker, SweepOutcome
+from repro.core.predicates import CorrectnessPredicate
+from repro.runtime.engine import ExecutionResult, ProcessFactory, run_protocol
+from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value, is_bottom
+
+#: Purity exemptions for this module, consumed by ``repro.statics``
+#: (see docs/statics.md).  Worker-entry machinery must be module-level
+#: and communicate through a module global because the ``fork`` pool
+#: shares unpicklable context by inheritance, not by argument passing;
+#: this is declared here, with justification, instead of per-line
+#: ``# noqa`` markers.
+PURITY_EXEMPT = {
+    "execute_cells": (
+        "sets the module-global worker context before forking the pool: "
+        "fork-started workers inherit closures (factories, predicates) "
+        "that pickling cannot transport; the global is cleared in a "
+        "finally block and never read by in-process sweep code"
+    ),
+}
+
+#: Target number of chunks handed to each worker.  More than one chunk
+#: per worker smooths load imbalance (cells differ in round counts);
+#: the constant is deliberately fixed so chunking is deterministic.
+_CHUNKS_PER_WORKER = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepCell:
+    """One grid cell as a picklable task spec.
+
+    Everything a worker needs to *identify* the execution: the input
+    pattern, the fault set, which adversary maker to instantiate (by
+    index into the context's maker tuple — makers themselves are often
+    lambdas and do not pickle), and the seed all substreams derive
+    from.
+    """
+
+    index: int
+    inputs: Dict[ProcessId, Value]
+    faulty: Tuple[ProcessId, ...]
+    adversary_name: str
+    adversary_index: int
+    seed: int
+
+
+@dataclasses.dataclass
+class SweepContext:
+    """The grid-wide constants shared by every cell.
+
+    Not picklable in general (factories and predicates are closures);
+    shared with workers by fork inheritance.
+    """
+
+    factory: ProcessFactory
+    config: SystemConfig
+    adversary_makers: Tuple[Tuple[str, AdversaryMaker], ...]
+    predicate: Optional[CorrectnessPredicate]
+    max_rounds: int
+    run_full_rounds: Optional[int]
+    sizer: Optional[Callable[[Any], int]]
+    is_null: Optional[Callable[[Any], bool]]
+
+
+class ProcessSummary:
+    """Picklable stand-in for a live process in portable results.
+
+    Carries exactly the state :class:`ExecutionResult` consumers read
+    off processes after the fact — the decision and when it was made —
+    plus the introspection surface (:meth:`has_decided`,
+    :meth:`snapshot`) sweep reporting uses.
+    """
+
+    __slots__ = ("process_id", "decision", "decision_round")
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        decision: Value,
+        decision_round: Optional[Round],
+    ):
+        self.process_id = process_id
+        self.decision = decision
+        self.decision_round = decision_round
+
+    def has_decided(self) -> bool:
+        return not is_bottom(self.decision)
+
+    def snapshot(self) -> Any:
+        return {"decision": self.decision}
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, ProcessSummary):
+            return NotImplemented
+        return (
+            self.process_id == other.process_id
+            and self.decision == other.decision
+            and self.decision_round == other.decision_round
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessSummary({self.process_id}, {self.decision!r}, "
+            f"round={self.decision_round})"
+        )
+
+
+def portable_result(result: ExecutionResult) -> ExecutionResult:
+    """``result`` with unpicklable parts replaced, picklable parts kept.
+
+    Live process objects become :class:`ProcessSummary` stubs and the
+    trace is dropped — the same policy
+    :func:`repro.runtime.checkpoint.save_result` applies on disk.
+    Everything quantitative (decisions, rounds, metrics) is untouched.
+    """
+    return dataclasses.replace(
+        result,
+        trace=None,
+        processes={
+            process_id: ProcessSummary(
+                process_id, process.decision, process.decision_round
+            )
+            for process_id, process in result.processes.items()
+        },
+    )
+
+
+def build_cells(
+    input_patterns: Iterable[Dict[ProcessId, Value]],
+    fault_sets: Iterable[Sequence[ProcessId]],
+    adversary_makers: Sequence[Tuple[str, AdversaryMaker]],
+    seeds: Iterable[int],
+) -> List[SweepCell]:
+    """Flatten the grid into cells, in the sweep's canonical order.
+
+    The nesting order (inputs, faults, adversaries, seeds) matches the
+    historical serial loop, so reports keep their cell order across
+    executor choices.
+    """
+    cells: List[SweepCell] = []
+    index = 0
+    for inputs in input_patterns:
+        for faulty in fault_sets:
+            for adversary_index, (name, _maker) in enumerate(adversary_makers):
+                for seed in seeds:
+                    cells.append(
+                        SweepCell(
+                            index=index,
+                            inputs=dict(inputs),
+                            faulty=tuple(faulty),
+                            adversary_name=name,
+                            adversary_index=adversary_index,
+                            seed=int(seed),
+                        )
+                    )
+                    index += 1
+    return cells
+
+
+def evaluate_predicate(
+    predicate: Optional[CorrectnessPredicate],
+    result: ExecutionResult,
+    config: SystemConfig,
+) -> Tuple[Optional[bool], Optional[str]]:
+    """Evaluate the paper's ``(ans(E), F, I)`` predicate, capturing errors.
+
+    Returns ``(holds, error)``: ``(None, None)`` when no predicate was
+    supplied, ``(None, "TypeError: ...")`` when it raised.
+    """
+    if predicate is None:
+        return None, None
+    try:
+        holds = bool(
+            predicate(
+                result.answer_vector(),
+                frozenset(result.faulty_ids),
+                tuple(
+                    result.inputs.get(process_id, BOTTOM)
+                    for process_id in config.process_ids
+                ),
+            )
+        )
+    except Exception as error:  # surfaced per-cell, never aborts the grid
+        return None, f"{type(error).__name__}: {error}"
+    return holds, None
+
+
+def run_cell(
+    context: SweepContext, cell: SweepCell, portable: bool = True
+) -> SweepOutcome:
+    """Run one cell to completion — the single per-cell code path.
+
+    Both the serial and the pooled executors call this, so a report's
+    content cannot depend on which executor produced it.  ``portable``
+    strips the result for process-boundary transport; the ``workers=1``
+    reference path strips too, keeping reports comparable bit-for-bit.
+    """
+    _name, maker = context.adversary_makers[cell.adversary_index]
+    result = run_protocol(
+        context.factory,
+        context.config,
+        cell.inputs,
+        adversary=maker(list(cell.faulty)),
+        max_rounds=context.max_rounds,
+        run_full_rounds=context.run_full_rounds,
+        sizer=context.sizer,
+        is_null=context.is_null,
+        seed=cell.seed,
+    )
+    holds, error = evaluate_predicate(context.predicate, result, context.config)
+    if portable:
+        result = portable_result(result)
+    return SweepOutcome(
+        inputs=dict(cell.inputs),
+        faulty=cell.faulty,
+        adversary_name=cell.adversary_name,
+        seed=cell.seed,
+        result=result,
+        predicate_holds=holds,
+        error=error,
+    )
+
+
+#: Fork-inherited sweep context for pool workers.  Set by
+#: :func:`execute_cells` immediately before the pool forks, cleared in
+#: its ``finally``; workers read it through :func:`_run_cell_chunk`.
+_WORKER_CONTEXT: Optional[SweepContext] = None
+
+
+def _run_cell_chunk(cells: List[SweepCell]) -> List[SweepOutcome]:
+    """Worker entry point: run a chunk of cells against the inherited
+    context.
+
+    Must stay module-level — the pool transports it by qualified name.
+    """
+    context = _WORKER_CONTEXT
+    if context is None:
+        raise RuntimeError(
+            "sweep worker started without an inherited context (pool was "
+            "not fork-started?)"
+        )
+    return [run_cell(context, cell) for cell in cells]
+
+
+def _chunked(cells: List[SweepCell], workers: int) -> List[List[SweepCell]]:
+    """Deterministic contiguous chunks, ~``_CHUNKS_PER_WORKER`` per worker."""
+    chunk_size = max(
+        1, math.ceil(len(cells) / (workers * _CHUNKS_PER_WORKER))
+    )
+    return [
+        cells[start:start + chunk_size]
+        for start in range(0, len(cells), chunk_size)
+    ]
+
+
+def _canonical(outcome: SweepOutcome) -> SweepOutcome:
+    """Break object sharing so the outcome's byte form is standalone.
+
+    Outcomes coming back from a pool chunk share subobjects (one
+    config instance per worker) while serial outcomes share them
+    grid-wide; pickle encodes that sharing topology as memo
+    references, so identically-valued reports would serialize
+    differently per worker count.  A per-outcome round-trip normalizes
+    every outcome to its own object graph — singletons like
+    :data:`~repro.types.BOTTOM` survive by ``__reduce__`` identity.
+    """
+    return pickle.loads(pickle.dumps(outcome))
+
+
+def _run_serial(
+    context: SweepContext, cells: Sequence[SweepCell]
+) -> List[SweepOutcome]:
+    return [_canonical(run_cell(context, cell)) for cell in cells]
+
+
+def execute_cells(
+    context: SweepContext,
+    cells: Sequence[SweepCell],
+    workers: int,
+) -> List[SweepOutcome]:
+    """Run ``cells`` over ``workers`` processes; outcomes in cell order.
+
+    ``workers <= 1`` (or a grid of fewer than two cells) takes the
+    in-process reference path.  Pool start-up or transport failures —
+    no ``fork`` start method, a broken pool, unpicklable outcomes —
+    degrade to that same path with a :class:`RuntimeWarning`; protocol
+    errors inside a cell are *not* masked and propagate as they would
+    serially.
+    """
+    cells = list(cells)
+    if workers <= 1 or len(cells) < 2:
+        return _run_serial(context, cells)
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:
+        warnings.warn(
+            "parallel sweep needs the 'fork' start method; running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_serial(context, cells)
+
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+    try:
+        chunks = _chunked(cells, workers)
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)), mp_context=mp_context
+        ) as pool:
+            # Submission order == collection order: completion order can
+            # never leak into the report.
+            futures = [pool.submit(_run_cell_chunk, chunk) for chunk in chunks]
+            return [
+                _canonical(outcome)
+                for future in futures
+                for outcome in future.result()
+            ]
+    except (BrokenProcessPool, OSError, pickle.PicklingError) as error:
+        warnings.warn(
+            f"parallel sweep degraded to serial execution: {error}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_serial(context, cells)
+    finally:
+        _WORKER_CONTEXT = None

@@ -4,6 +4,13 @@ Experiments and users keep writing the same triple loop — input
 patterns x fault placements x adversary strategies x seeds — and then
 evaluating a correctness predicate on every outcome.  This module is
 that loop as a library, with structured results.
+
+The grid is embarrassingly parallel: cells share no state (every cell
+builds a fresh adversary and derives its randomness from its own seed
+through :func:`repro.runtime.rng.derive_rng`), so ``sweep(...,
+workers=N)`` fans the cells out over a process pool via
+:mod:`repro.analysis.parallel` and returns results identical for every
+``N`` — see that module for the portability rules.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.adversary.base import Adversary
 from repro.core.predicates import CorrectnessPredicate
-from repro.runtime.engine import ExecutionResult, ProcessFactory, run_protocol
+from repro.runtime.engine import ExecutionResult, ProcessFactory
 from repro.types import ProcessId, SystemConfig, Value
 
 # Builds a fresh adversary for a fault set: (faulty_ids) -> Adversary.
@@ -22,7 +29,14 @@ AdversaryMaker = Callable[[Sequence[ProcessId]], Adversary]
 
 @dataclasses.dataclass
 class SweepOutcome:
-    """One cell of the sweep grid."""
+    """One cell of the sweep grid.
+
+    ``predicate_holds`` is ``None`` both when no predicate was supplied
+    and when the predicate *raised*; the two are distinguished by
+    ``error``, which records the exception (``"TypeError: ..."``) in
+    the latter case.  Errored cells count as violations — a predicate
+    that cannot evaluate an outcome is a finding, not a pass.
+    """
 
     inputs: Dict[ProcessId, Value]
     faulty: Tuple[ProcessId, ...]
@@ -30,12 +44,15 @@ class SweepOutcome:
     seed: int
     result: ExecutionResult
     predicate_holds: Optional[bool]
+    error: Optional[str] = None
 
     def describe(self) -> str:
-        status = (
-            "?" if self.predicate_holds is None
-            else ("ok" if self.predicate_holds else "VIOLATION")
-        )
+        if self.error is not None:
+            status = f"ERROR {self.error}"
+        elif self.predicate_holds is None:
+            status = "?"
+        else:
+            status = "ok" if self.predicate_holds else "VIOLATION"
         return (
             f"[{status}] faulty={list(self.faulty)} "
             f"adversary={self.adversary_name} seed={self.seed} "
@@ -55,10 +72,18 @@ class SweepReport:
 
     @property
     def violations(self) -> List[SweepOutcome]:
+        """Cells where the predicate failed — or could not be evaluated."""
         return [
             outcome
             for outcome in self.outcomes
-            if outcome.predicate_holds is False
+            if outcome.predicate_holds is False or outcome.error is not None
+        ]
+
+    @property
+    def errors(self) -> List[SweepOutcome]:
+        """The subset of cells whose predicate raised."""
+        return [
+            outcome for outcome in self.outcomes if outcome.error is not None
         ]
 
     def all_hold(self) -> bool:
@@ -84,49 +109,45 @@ def sweep(
     run_full_rounds: Optional[int] = None,
     sizer: Optional[Callable[[Any], int]] = None,
     is_null: Optional[Callable[[Any], bool]] = None,
+    workers: Optional[int] = None,
 ) -> SweepReport:
     """Run the full grid and evaluate ``predicate`` on each outcome.
 
     ``adversary_makers`` must build a *fresh* adversary per call —
     strategies may carry per-execution state (ghost processes, stale
     caches).  The predicate receives the paper's
-    ``(ans(E), F, I)`` triple; ``None`` skips evaluation.
+    ``(ans(E), F, I)`` triple; ``None`` skips evaluation.  A predicate
+    that raises does not abort the sweep: the exception is captured in
+    :attr:`SweepOutcome.error` and the cell is reported as a violation.
+
+    ``workers`` selects the executor.  ``None`` (the default) runs
+    in-process and keeps live process objects on each result.  Any
+    integer ``N >= 1`` routes through
+    :func:`repro.analysis.parallel.execute_cells`: results are made
+    *portable* (live process objects replaced by picklable summaries,
+    traces dropped), and the report is identical for every ``N`` —
+    ``workers=1`` is the in-process reference the pool must match.
     """
-    outcomes: List[SweepOutcome] = []
-    for inputs in input_patterns:
-        for faulty in fault_sets:
-            for adversary_name, maker in adversary_makers:
-                for seed in seeds:
-                    result = run_protocol(
-                        factory,
-                        config,
-                        inputs,
-                        adversary=maker(list(faulty)),
-                        max_rounds=max_rounds,
-                        run_full_rounds=run_full_rounds,
-                        sizer=sizer,
-                        is_null=is_null,
-                        seed=seed,
-                    )
-                    holds: Optional[bool] = None
-                    if predicate is not None:
-                        holds = predicate(
-                            result.answer_vector(),
-                            frozenset(result.faulty_ids),
-                            tuple(
-                                inputs[p] for p in config.process_ids
-                            ),
-                        )
-                    outcomes.append(
-                        SweepOutcome(
-                            inputs=dict(inputs),
-                            faulty=tuple(faulty),
-                            adversary_name=adversary_name,
-                            seed=seed,
-                            result=result,
-                            predicate_holds=holds,
-                        )
-                    )
+    from repro.analysis import parallel  # deferred: parallel imports us
+
+    makers = list(adversary_makers)
+    context = parallel.SweepContext(
+        factory=factory,
+        config=config,
+        adversary_makers=tuple(makers),
+        predicate=predicate,
+        max_rounds=max_rounds,
+        run_full_rounds=run_full_rounds,
+        sizer=sizer,
+        is_null=is_null,
+    )
+    cells = parallel.build_cells(input_patterns, fault_sets, makers, seeds)
+    if workers is None:
+        outcomes = [
+            parallel.run_cell(context, cell, portable=False) for cell in cells
+        ]
+    else:
+        outcomes = parallel.execute_cells(context, cells, workers)
     return SweepReport(outcomes)
 
 

@@ -22,7 +22,7 @@ the paper's asymptotic claims; EXPERIMENTS.md reports both.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import EncodingError
 from repro.types import is_bottom
@@ -77,6 +77,21 @@ def encoded_message_bits(message: Any, leaf_bits: Callable[[Any], int]) -> int:
     return leaf_bits(message)
 
 
+def structural_key(message: Any) -> Any:
+    """A hashable cache key capturing a message's *typed* structure.
+
+    Equal messages of equal leaf types share a key, so a sizer may
+    memoize on it.  The key must discriminate leaf types because
+    measurement does: ``True == 1`` yet a bool is charged as a value
+    while a small int may be charged as an index.  Raises ``TypeError``
+    for unhashable leaves (callers then skip the cache).
+    """
+    if isinstance(message, tuple):
+        return tuple(structural_key(component) for component in message)
+    hash(message)  # unhashable -> TypeError, caller falls back
+    return (type(message), message)
+
+
 class MessageSizer:
     """Per-protocol message measurement policy.
 
@@ -90,12 +105,19 @@ class MessageSizer:
         ``|V|`` — the number of legal input values.
     n:
         Number of processors (sizes index leaves).
+
+    Repeated measurements of structurally equal messages are served
+    from a memo cache: protocols broadcast, so one round presents the
+    same message up to ``n`` times, and block repetition re-presents it
+    across rounds.  The cache key is :func:`structural_key`, which
+    distinguishes leaf types, so a hit is always size-exact.
     """
 
     def __init__(self, value_alphabet_size: int, n: int):
         self.value_bits = bits_for_alphabet(value_alphabet_size)
         self.index_bits = bits_for_alphabet(n)
         self._n = n
+        self._cache: Dict[Any, int] = {}
 
     def _leaf_bits(self, leaf: Any) -> int:
         # Index leaves are ints in 1..n; everything else is charged as
@@ -109,8 +131,19 @@ class MessageSizer:
         return self.value_bits
 
     def measure(self, message: Any) -> int:
-        """Exact measured size of ``message`` in bits."""
-        return encoded_message_bits(message, self._leaf_bits)
+        """Exact measured size of ``message`` in bits (memoized)."""
+        try:
+            key: Optional[Tuple[Any, ...]] = (structural_key(message),)
+        except TypeError:
+            key = None  # unhashable somewhere inside: measure directly
+        if key is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        bits = encoded_message_bits(message, self._leaf_bits)
+        if key is not None:
+            self._cache[key] = bits
+        return bits
 
     def measure_value_array(self, array: Any) -> int:
         """Size of an array charging every leaf as a value."""

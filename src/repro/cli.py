@@ -9,6 +9,8 @@ Gives a downstream user the paper's artifacts without writing code:
 * ``tradeoff``  — the eps <-> k table,
 * ``crossover`` — the exponential-vs-polynomial growth figure,
 * ``avalanche`` — a standalone avalanche agreement demo,
+* ``bench``     — the perf-trajectory suite of
+  :mod:`repro.analysis.bench`; writes ``BENCH_<date>.json``,
 * ``lint``      — the protocol-aware static analysis of
   :mod:`repro.statics` (determinism, purity and catalog contracts).
 """
@@ -105,6 +107,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--adversary", choices=sorted(ADVERSARY_CHOICES), default="splitter"
     )
     avalanche.add_argument("--rounds", type=int, default=8)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the perf suite and write BENCH_<date>.json "
+        "(see docs/perf.md)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grids for CI smoke runs (seconds, not minutes)",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep process-pool size (default: all available cores, "
+        "capped at 4; 1 = serial reference)",
+    )
+    bench.add_argument(
+        "--suite",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this suite (repeatable); default: all suites",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        help="output JSON path (default: ./BENCH_<date>.json)",
+    )
 
     lint = commands.add_parser(
         "lint",
@@ -250,6 +282,37 @@ def _command_avalanche(args) -> str:
     return "\n".join(lines)
 
 
+def _command_bench(args):
+    import os
+    import pathlib
+
+    from repro.analysis.bench import (
+        default_output_path,
+        render_report,
+        run_bench,
+        write_report,
+    )
+
+    workers = args.workers
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    if workers < 1:
+        return f"error: --workers must be >= 1, got {workers}", 2
+    try:
+        report = run_bench(
+            suites=args.suite, quick=args.quick, workers=workers
+        )
+    except KeyError as error:
+        return f"error: {error.args[0]}", 2
+    path = (
+        pathlib.Path(args.output)
+        if args.output
+        else default_output_path()
+    )
+    write_report(report, path)
+    return f"{render_report(report)}\n\nwrote {path}"
+
+
 def _command_lint(args):
     import json
     import pathlib
@@ -314,6 +377,7 @@ _HANDLERS = {
     "tradeoff": _command_tradeoff,
     "crossover": _command_crossover,
     "avalanche": _command_avalanche,
+    "bench": _command_bench,
     "lint": _command_lint,
 }
 

@@ -10,7 +10,7 @@ experiments measure (decisions, decision rounds, bits, traces).
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.adversary.base import Adversary, PassiveAdversary
 from repro.errors import ConfigurationError
@@ -48,8 +48,8 @@ class ExecutionResult:
     processes: Dict[ProcessId, Process]
 
     @property
-    def correct_ids(self) -> tuple:
-        """Correct processor ids, ascending."""
+    def correct_ids(self) -> Tuple[ProcessId, ...]:
+        """Correct processor ids, ascending (faulty ids excluded)."""
         return tuple(sorted(self.processes))
 
     def decided_values(self) -> set:

@@ -4,24 +4,52 @@ Protocol code deals in bare payloads; the network wraps each payload in
 an :class:`Envelope` carrying its origin, destination, and round — the
 same bookkeeping the paper attaches to the message set ``M`` of an
 execution ``(k, F, I, M)``.
+
+``Envelope`` is deliberately a hand-rolled ``__slots__`` class rather
+than a dataclass: traced executions allocate one per delivered message
+(``n^2`` per round), and the per-instance ``__dict__`` of a plain class
+dominated allocation profiles of full-information runs.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any
 
 from repro.types import ProcessId, Round
 
 
-@dataclasses.dataclass(frozen=True)
 class Envelope:
-    """One message in flight: payload plus origin/destination/round."""
+    """One message in flight: payload plus origin/destination/round.
 
-    sender: ProcessId
-    receiver: ProcessId
-    round_number: Round
-    payload: Any
+    Value semantics match the frozen dataclass it replaced: equality
+    and hashing are field-wise, and instances are treated as immutable
+    by convention (the network never rewrites a recorded envelope).
+    """
+
+    __slots__ = ("sender", "receiver", "round_number", "payload")
+
+    def __init__(
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        round_number: Round,
+        payload: Any,
+    ):
+        self.sender = sender
+        self.receiver = receiver
+        self.round_number = round_number
+        self.payload = payload
+
+    def _key(self):
+        return (self.sender, self.receiver, self.round_number, self.payload)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Envelope):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
 
     def __repr__(self) -> str:
         return (

@@ -17,26 +17,51 @@ protocol.  Adversary traffic can be included for diagnostics.
 
 from __future__ import annotations
 
-import dataclasses
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.types import ProcessId, Round
 
 
-@dataclasses.dataclass
 class RoundUsage:
-    """Aggregated communication in one round."""
+    """Aggregated communication in one round.
 
-    messages: int = 0
-    non_null_messages: int = 0
-    bits: int = 0
+    A ``__slots__`` class rather than a dataclass: three counters exist
+    per round, per sender, *and* per link, so a metered execution
+    allocates thousands of these and the per-instance ``__dict__`` was
+    measurable in sweep profiles.  Equality and repr keep the dataclass
+    semantics tests rely on.
+    """
+
+    __slots__ = ("messages", "non_null_messages", "bits")
+
+    def __init__(
+        self, messages: int = 0, non_null_messages: int = 0, bits: int = 0
+    ):
+        self.messages = messages
+        self.non_null_messages = non_null_messages
+        self.bits = bits
 
     def add(self, bits: int, non_null: bool) -> None:
         self.messages += 1
         self.bits += bits
         if non_null:
             self.non_null_messages += 1
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, RoundUsage):
+            return NotImplemented
+        return (
+            self.messages == other.messages
+            and self.non_null_messages == other.non_null_messages
+            and self.bits == other.bits
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RoundUsage(messages={self.messages}, "
+            f"non_null_messages={self.non_null_messages}, bits={self.bits})"
+        )
 
 
 class MessageMetrics:

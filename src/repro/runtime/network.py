@@ -14,6 +14,13 @@ delivered within the round; an omitted or malformed faulty message is
 delivered as :data:`BOTTOM`, which the recipient can detect (and the
 paper's protocols do: "a single message that contains more than one
 value is obviously erroneous and is discarded immediately").
+
+Hot-path notes: sweeps run this loop millions of times, so the round
+loop (a) clones a preallocated all-:data:`BOTTOM` delivery row per
+receiver instead of growing dicts with ``setdefault``, (b) memoizes
+the sizer per payload *object* within a round — broadcasts present the
+same object up to ``n`` times — and (c) skips all trace bookkeeping
+when no trace is attached.
 """
 
 from __future__ import annotations
@@ -33,12 +40,21 @@ def _default_sizer(message: Any) -> int:
 
     Protocols that make bit-level claims supply an exact sizer built
     from :class:`repro.arrays.encoding.MessageSizer`; this fallback
-    keeps metrics meaningful for quick experiments.
+    keeps metrics meaningful for quick experiments.  All container
+    shapes are sized structurally — tuples, lists, sets and dicts each
+    cost a 2-bit node header plus the sum of their elements (dicts:
+    keys and values) — so a list-shaped message is never silently
+    undercounted as a single scalar leaf.
     """
     if is_bottom(message):
         return 0
-    if isinstance(message, tuple):
+    if isinstance(message, (tuple, list, set, frozenset)):
         return 2 + sum(_default_sizer(component) for component in message)
+    if isinstance(message, dict):
+        return 2 + sum(
+            _default_sizer(key) + _default_sizer(value)
+            for key, value in message.items()
+        )
     return 8
 
 
@@ -79,6 +95,18 @@ class SynchronousNetwork:
         self.trace = trace
         self.meter_adversary = meter_adversary
         self.round_number: Round = 0
+        # Preallocated delivery row: every receiver's incoming map
+        # starts as a clone of this (one BOTTOM slot per processor id),
+        # replacing the per-round setdefault pass over n ids.
+        self._bottom_row: Dict[ProcessId, Any] = {
+            process_id: BOTTOM for process_id in config.process_ids
+        }
+        # Per-round sizer memo keyed on payload identity; broadcast
+        # sends one object to n receivers, so n - 1 sizer walks per
+        # sender collapse to dict hits.  Cleared every round, and the
+        # outgoing maps keep payloads alive for the round, so an id can
+        # never be reused while cached.
+        self._size_cache: Dict[int, int] = {}
 
     def run_round(self) -> Round:
         """Execute one full round; returns its (1-based) number."""
@@ -105,8 +133,9 @@ class SynchronousNetwork:
             )
 
         # 3. Deliver and meter; then each correct processor's state change.
+        self._size_cache.clear()
         incoming_by_receiver: Dict[ProcessId, Dict[ProcessId, Any]] = {
-            receiver: {} for receiver in self.processes
+            receiver: dict(self._bottom_row) for receiver in self.processes
         }
         for sender, per_receiver in correct_outgoing.items():
             self._deliver(round_number, sender, per_receiver,
@@ -117,17 +146,26 @@ class SynchronousNetwork:
 
         self.adversary.observe_round(round_number, context, faulty_outgoing)
 
-        for receiver, process in self.processes.items():
-            incoming = incoming_by_receiver[receiver]
-            # Every processor id appears exactly once in the map.
-            for sender in self.config.process_ids:
-                incoming.setdefault(sender, BOTTOM)
-            process.receive(round_number, incoming)
-            if self.trace is not None:
+        if self.trace is None:
+            # Fast path: no snapshot bookkeeping at all.
+            for receiver, process in self.processes.items():
+                process.receive(round_number, incoming_by_receiver[receiver])
+        else:
+            for receiver, process in self.processes.items():
+                process.receive(round_number, incoming_by_receiver[receiver])
                 self.trace.record_snapshot(
                     round_number, receiver, process.snapshot()
                 )
         return round_number
+
+    def _measured_bits(self, payload: Any) -> int:
+        """The sizer's verdict for ``payload``, memoized for this round."""
+        key = id(payload)
+        bits = self._size_cache.get(key)
+        if bits is None:
+            bits = self.sizer(payload)
+            self._size_cache[key] = bits
+        return bits
 
     def _deliver(
         self,
@@ -137,26 +175,24 @@ class SynchronousNetwork:
         incoming_by_receiver: Dict[ProcessId, Dict[ProcessId, Any]],
         metered: bool,
     ) -> None:
+        trace = self.trace
+        metrics = self.metrics
         for receiver, payload in per_receiver.items():
-            if receiver not in incoming_by_receiver:
-                # Destination is faulty: messages from anyone to faulty
-                # processors "do not matter" (Theorem 9) — drop them,
-                # but still meter correct senders' cost.
-                if metered and not is_bottom(payload):
-                    self.metrics.record(
-                        round_number, sender, receiver,
-                        bits=self.sizer(payload),
-                        non_null=not self.is_null(payload),
-                    )
+            incoming = incoming_by_receiver.get(receiver)
+            if incoming is not None:
+                incoming[sender] = payload
+            # Destination-is-faulty deliveries (incoming is None) "do
+            # not matter" (Theorem 9) — dropped, but a correct sender's
+            # cost is still metered below.
+            if is_bottom(payload):
                 continue
-            incoming_by_receiver[receiver][sender] = payload
-            if metered and not is_bottom(payload):
-                self.metrics.record(
+            if metered:
+                metrics.record(
                     round_number, sender, receiver,
-                    bits=self.sizer(payload),
+                    bits=self._measured_bits(payload),
                     non_null=not self.is_null(payload),
                 )
-            if self.trace is not None and not is_bottom(payload):
-                self.trace.record_envelope(
+            if incoming is not None and trace is not None:
+                trace.record_envelope(
                     Envelope(sender, receiver, round_number, payload)
                 )

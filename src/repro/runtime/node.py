@@ -41,7 +41,14 @@ class Process(abc.ABC):
     ``outgoing(r)`` exactly once, then ``receive(r, incoming)`` exactly
     once, with ``incoming`` holding one entry per processor id (absent
     or malformed transmissions appear as :data:`BOTTOM`).
+
+    The base class declares ``__slots__`` so its four fields never pay
+    for a dict entry; subclasses that declare their own ``__slots__``
+    stay fully dict-free on the hot path, and subclasses that don't
+    still get a ``__dict__`` for their extra state as usual.
     """
+
+    __slots__ = ("process_id", "config", "_decision", "_decision_round")
 
     def __init__(self, process_id: ProcessId, config: SystemConfig):
         self.process_id = process_id

@@ -14,12 +14,23 @@ implementations of the four functions (plus the message-coercion
 hooks, which Theorem 2 also replays) and (b) every ``*_factory``
 function in the protocol packages — the constructors the catalog
 registers, which must build processes from their arguments alone.
+Worker modules (see :data:`repro.statics.runner.WORKER_MODULES`) are
+checked in ``all_functions`` mode: their entry points are replayed in
+forked pool workers, the process-level analogue of Theorem 2's replay.
+
+A module may exempt specific functions by declaring a module-level
+``PURITY_EXEMPT = {"symbol": "justification", ...}`` dict — the
+sanctioned, reviewable alternative to per-line ``# noqa`` markers for
+code whose impurity is structural (e.g. fork-pool worker plumbing that
+must publish context through a module global).  Every entry needs a
+non-empty justification and must exempt a symbol the pass actually
+checks; invalid or dead entries are themselves findings (PUR005).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.statics.findings import Finding
 from repro.statics.rules import rule
@@ -99,6 +110,18 @@ PUR004 = rule(
     "one protocol object serves all n processors, so writing self.* "
     "couples processors outside the message channels",
 )
+PUR005 = rule(
+    "PUR005",
+    "purity",
+    "invalid purity exemption",
+    "PURITY_EXEMPT entries are the reviewable alternative to ad-hoc "
+    "noqa markers; an entry without a justification, or naming no "
+    "symbol this pass checks, documents nothing and must be fixed or "
+    "removed",
+)
+
+#: The module-level declaration the pass honours.
+EXEMPT_DECLARATION = "PURITY_EXEMPT"
 
 
 def _mutable_default(default: ast.AST) -> bool:
@@ -325,17 +348,106 @@ def _automaton_classes(tree: ast.Module) -> List[ast.ClassDef]:
     return [by_name[name] for name in by_name if name in automaton]
 
 
-def run_purity_pass(source: str, path: str) -> List[Finding]:
-    """Lint one protocol-package file; returns its findings."""
+def _finding(path: str, node: ast.AST, symbol: str, message: str) -> Finding:
+    return Finding(
+        path=path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        rule=PUR005.id,
+        symbol=symbol,
+        message=message,
+    )
+
+
+def _parse_exemptions(
+    tree: ast.Module, path: str
+) -> Tuple[Dict[str, ast.AST], List[Finding]]:
+    """The module's ``PURITY_EXEMPT`` declaration, validated.
+
+    Returns ``(exemptions, findings)`` where ``exemptions`` maps each
+    *well-justified* symbol to the AST node that declared it (for
+    dead-entry reporting) and ``findings`` holds PUR005s for
+    malformed entries: non-literal declarations, non-string keys, or
+    empty/missing justifications.
+    """
+    exemptions: Dict[str, ast.AST] = {}
+    findings: List[Finding] = []
+    for node in tree.body:
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        named = any(
+            isinstance(target, ast.Name) and target.id == EXEMPT_DECLARATION
+            for target in targets
+        )
+        if not named:
+            continue
+        if not isinstance(value, ast.Dict):
+            findings.append(_finding(
+                path, node, "<module>",
+                f"{EXEMPT_DECLARATION} must be a literal dict of "
+                "symbol -> justification",
+            ))
+            continue
+        for key, justification in zip(value.keys, value.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                findings.append(_finding(
+                    path, key if key is not None else node, "<module>",
+                    f"{EXEMPT_DECLARATION} keys must be string literals "
+                    "naming checked symbols",
+                ))
+                continue
+            symbol = key.value
+            justified = (
+                isinstance(justification, ast.Constant)
+                and isinstance(justification.value, str)
+                and justification.value.strip()
+            )
+            if not justified:
+                findings.append(_finding(
+                    path, justification, symbol,
+                    f"exemption for {symbol!r} has no justification — "
+                    "an unexplained suppression is a process violation",
+                ))
+                continue
+            exemptions[symbol] = key
+    return exemptions, findings
+
+
+def run_purity_pass(
+    source: str, path: str, all_functions: bool = False
+) -> List[Finding]:
+    """Lint one file; returns its findings.
+
+    By default only automaton methods and ``*_factory`` constructors
+    are checked.  ``all_functions=True`` extends the check to every
+    module-level function — used for worker modules, whose entry
+    points are replayed in forked pool processes.  Either way, symbols
+    named in a valid ``PURITY_EXEMPT`` declaration are skipped.
+    """
     tree = ast.parse(source, filename=path)
     module_names = _module_level_names(tree)
-    findings: List[Finding] = []
+    exemptions, findings = _parse_exemptions(tree, path)
+    used_exemptions: Set[str] = set()
+
+    def exempted(symbol: str) -> bool:
+        if symbol in exemptions:
+            used_exemptions.add(symbol)
+            return True
+        return False
 
     for cls in _automaton_classes(tree):
         for item in cls.body:
             if not isinstance(item, ast.FunctionDef):
                 continue
             if item.name not in AUTOMATON_METHODS:
+                continue
+            if exempted(f"{cls.name}.{item.name}"):
                 continue
             checker = _FunctionChecker(
                 path,
@@ -346,11 +458,21 @@ def run_purity_pass(source: str, path: str) -> List[Finding]:
             findings.extend(checker.check(item, [cls.name, item.name]))
 
     for item in tree.body:
-        if isinstance(item, ast.FunctionDef) and item.name.endswith(
-            "_factory"
-        ):
-            checker = _FunctionChecker(path, module_names, read_only_self=False)
-            _check_defaults(checker, item)
-            findings.extend(checker.check(item, [item.name]))
+        if not isinstance(item, ast.FunctionDef):
+            continue
+        if not (all_functions or item.name.endswith("_factory")):
+            continue
+        if exempted(item.name):
+            continue
+        checker = _FunctionChecker(path, module_names, read_only_self=False)
+        _check_defaults(checker, item)
+        findings.extend(checker.check(item, [item.name]))
 
+    for symbol, node in exemptions.items():
+        if symbol not in used_exemptions:
+            findings.append(_finding(
+                path, node, symbol,
+                f"exemption for {symbol!r} matches no symbol this pass "
+                "checks — delete the dead entry",
+            ))
     return findings

@@ -22,6 +22,14 @@ from repro.statics.purity import run_purity_pass
 #: The packages whose files get the determinism and purity passes.
 PROTOCOL_PACKAGES = ("core", "agreement", "avalanche", "compact", "fullinfo")
 
+#: Modules whose entry points are replayed *outside* the calling
+#: process (forked sweep-pool workers) — the process-level analogue of
+#: the Theorem 2 replay that motivates the purity pass.  They get the
+#: purity pass over every module-level function; structural impurities
+#: (fork-pool context globals) are exempted in-module via a justified
+#: ``PURITY_EXEMPT`` declaration rather than ad-hoc markers.
+WORKER_MODULES = ("analysis/parallel.py",)
+
 
 @dataclasses.dataclass
 class LintResult:
@@ -62,6 +70,14 @@ def collect_findings(package_root: pathlib.Path) -> List[Finding]:
             source = path.read_text()
             findings.extend(run_determinism_pass(source, relative))
             findings.extend(run_purity_pass(source, relative))
+    for module in WORKER_MODULES:
+        path = package_root / module
+        if not path.is_file():
+            continue
+        relative = f"{prefix}/{module}"
+        findings.extend(
+            run_purity_pass(path.read_text(), relative, all_functions=True)
+        )
     findings.extend(run_contract_pass(package_root))
     return sorted(findings)
 

@@ -1,0 +1,231 @@
+"""The parallel sweep executor: determinism, portability, degradation."""
+
+import pickle
+
+import pytest
+
+from repro.analysis import parallel
+from repro.analysis.parallel import (
+    ProcessSummary,
+    SweepCell,
+    SweepContext,
+    build_cells,
+    portable_result,
+)
+from repro.analysis.sweeps import standard_adversary_makers, sweep
+from repro.avalanche.protocol import avalanche_factory
+from repro.compact.byzantine_agreement import (
+    compact_ba_factory,
+    compact_ba_rounds,
+)
+from repro.compact.payload import compact_sizer, payload_is_null
+from repro.core.predicates import byzantine_agreement_predicate
+from repro.runtime.engine import run_protocol
+from repro.types import BOTTOM
+
+
+def avalanche_grid(config):
+    return dict(
+        input_patterns=[
+            {p: p % 2 for p in config.process_ids},
+            {p: 1 for p in config.process_ids},
+        ],
+        fault_sets=[(1, 2), (6, 7)],
+        adversary_makers=standard_adversary_makers(),
+        seeds=(0, 1),
+        run_full_rounds=6,
+    )
+
+
+def compact_grid(config):
+    return dict(
+        input_patterns=[{p: p % 2 for p in config.process_ids}],
+        fault_sets=[(1,), (4,)],
+        adversary_makers=standard_adversary_makers(),
+        seeds=(0, 1),
+        predicate=byzantine_agreement_predicate(),
+        max_rounds=compact_ba_rounds(config.t, 1) + 1,
+        sizer=compact_sizer(config, 2),
+        is_null=payload_is_null,
+    )
+
+
+def signature(report):
+    """Everything the determinism contract quantifies over."""
+    return [
+        (
+            outcome.result.answer_vector(),
+            outcome.result.metrics.total_bits,
+            dict(sorted(outcome.result.decision_rounds.items())),
+            outcome.adversary_name,
+            outcome.seed,
+            outcome.predicate_holds,
+            outcome.error,
+        )
+        for outcome in report.outcomes
+    ]
+
+
+class TestWorkerCountInvariance:
+    """sweep(workers=1) and sweep(workers=4) must be indistinguishable."""
+
+    def test_avalanche_identical_across_worker_counts(self, config7):
+        grid = avalanche_grid(config7)
+        serial = sweep(avalanche_factory(), config7, workers=1, **grid)
+        pooled = sweep(avalanche_factory(), config7, workers=4, **grid)
+        assert signature(serial) == signature(pooled)
+        assert serial.total_bits() == pooled.total_bits()
+        assert serial.max_rounds() == pooled.max_rounds()
+
+    def test_compact_ba_identical_across_worker_counts(self, config4):
+        factory = compact_ba_factory(config4, [0, 1], default=0, k=1)
+        grid = compact_grid(config4)
+        serial = sweep(factory, config4, workers=1, **grid)
+        pooled = sweep(factory, config4, workers=4, **grid)
+        assert signature(serial) == signature(pooled)
+        assert serial.all_hold() and pooled.all_hold()
+
+    def test_reports_are_byte_identical(self, config4):
+        factory = compact_ba_factory(config4, [0, 1], default=0, k=1)
+        grid = compact_grid(config4)
+        blobs = {
+            workers: pickle.dumps(sweep(factory, config4,
+                                        workers=workers, **grid))
+            for workers in (1, 2, 4)
+        }
+        assert blobs[1] == blobs[2] == blobs[4]
+
+    def test_matches_legacy_serial_path(self, config4):
+        """workers=None (live results) agrees on every metric."""
+        factory = compact_ba_factory(config4, [0, 1], default=0, k=1)
+        grid = compact_grid(config4)
+        legacy = sweep(factory, config4, **grid)
+        pooled = sweep(factory, config4, workers=2, **grid)
+        assert signature(legacy) == signature(pooled)
+
+
+class TestCells:
+    def test_build_cells_canonical_order(self, config4):
+        makers = standard_adversary_makers()[:2]
+        cells = build_cells(
+            input_patterns=[{1: 0}, {1: 1}],
+            fault_sets=[(1,), (2,)],
+            adversary_makers=makers,
+            seeds=(0, 7),
+        )
+        assert [cell.index for cell in cells] == list(range(16))
+        # Innermost loop is seeds, then adversaries, faults, inputs.
+        assert cells[0].seed == 0 and cells[1].seed == 7
+        assert cells[0].adversary_name == cells[1].adversary_name
+        assert cells[2].adversary_name != cells[0].adversary_name
+
+    def test_cells_are_picklable(self):
+        cell = SweepCell(
+            index=3, inputs={1: 0, 2: 1}, faulty=(2,),
+            adversary_name="silent", adversary_index=0, seed=5,
+        )
+        assert pickle.loads(pickle.dumps(cell)) == cell
+
+    def test_chunking_covers_every_cell_in_order(self):
+        cells = [
+            SweepCell(index=i, inputs={}, faulty=(), adversary_name="x",
+                      adversary_index=0, seed=0)
+            for i in range(23)
+        ]
+        chunks = parallel._chunked(cells, workers=4)
+        flattened = [cell for chunk in chunks for cell in chunk]
+        assert flattened == cells
+        assert all(chunk for chunk in chunks)
+
+
+class TestPortability:
+    def test_portable_result_replaces_processes_and_trace(self, config4):
+        factory = compact_ba_factory(config4, [0, 1], default=0, k=1)
+        result = run_protocol(
+            factory, config4, {p: 0 for p in config4.process_ids},
+            max_rounds=compact_ba_rounds(config4.t, 1) + 1,
+            record_trace=True,
+        )
+        portable = portable_result(result)
+        assert portable.trace is None
+        assert set(portable.processes) == set(result.processes)
+        for process_id, summary in portable.processes.items():
+            assert isinstance(summary, ProcessSummary)
+            assert summary.decision == result.decisions[process_id]
+            assert summary.has_decided()
+        # The quantitative surface is untouched.
+        assert portable.answer_vector() == result.answer_vector()
+        assert portable.correct_ids == result.correct_ids
+        assert portable.metrics.total_bits == result.metrics.total_bits
+        pickle.dumps(portable)  # closure-carrying original would raise
+
+    def test_process_summary_undecided(self):
+        summary = ProcessSummary(1, BOTTOM, None)
+        assert not summary.has_decided()
+        assert summary.snapshot() == {"decision": BOTTOM}
+
+
+class TestGracefulDegradation:
+    def test_no_fork_degrades_to_serial_with_warning(
+        self, config4, monkeypatch
+    ):
+        def no_fork(method):
+            raise ValueError("fork not available")
+
+        monkeypatch.setattr(
+            parallel.multiprocessing, "get_context", no_fork
+        )
+        factory = compact_ba_factory(config4, [0, 1], default=0, k=1)
+        grid = compact_grid(config4)
+        with pytest.warns(RuntimeWarning, match="fork"):
+            degraded = sweep(factory, config4, workers=4, **grid)
+        reference = sweep(factory, config4, workers=1, **grid)
+        assert pickle.dumps(degraded) == pickle.dumps(reference)
+
+    def test_broken_pool_degrades_to_serial_with_warning(
+        self, config4, monkeypatch
+    ):
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, *args, **kwargs):
+                raise OSError("cannot spawn worker")
+
+        monkeypatch.setattr(
+            parallel, "ProcessPoolExecutor", ExplodingPool
+        )
+        factory = compact_ba_factory(config4, [0, 1], default=0, k=1)
+        grid = compact_grid(config4)
+        with pytest.warns(RuntimeWarning, match="degraded to serial"):
+            degraded = sweep(factory, config4, workers=4, **grid)
+        reference = sweep(factory, config4, workers=1, **grid)
+        assert pickle.dumps(degraded) == pickle.dumps(reference)
+        assert parallel._WORKER_CONTEXT is None  # always cleaned up
+
+    def test_protocol_errors_are_not_masked(self, config4):
+        def exploding_factory(process_id, config, value):
+            raise RuntimeError("factory exploded")
+
+        context = SweepContext(
+            factory=exploding_factory,
+            config=config4,
+            adversary_makers=tuple(standard_adversary_makers()[:1]),
+            predicate=None,
+            max_rounds=5,
+            run_full_rounds=None,
+            sizer=None,
+            is_null=None,
+        )
+        cells = build_cells(
+            [{p: 0 for p in config4.process_ids}], [(1,)],
+            standard_adversary_makers()[:1], (0,),
+        )
+        with pytest.raises(RuntimeError, match="factory exploded"):
+            parallel.execute_cells(context, cells, workers=1)

@@ -82,3 +82,55 @@ class TestSweep:
         assert not report.all_hold()
         assert len(report.violations) == 2
         assert "VIOLATION" in report.violations[0].describe()
+
+    def test_predicate_exception_captured_as_error(self, config4):
+        """A raising predicate becomes SweepOutcome.error, not a crash."""
+
+        def exploding(answers, faulty, inputs):
+            raise ZeroDivisionError("predicate blew up")
+
+        factory = compact_ba_factory(config4, [0, 1], default=0, k=1)
+        report = sweep(
+            factory,
+            config4,
+            input_patterns=[{p: 0 for p in config4.process_ids}],
+            fault_sets=[(1,)],
+            adversary_makers=standard_adversary_makers()[:2],
+            predicate=exploding,
+            max_rounds=compact_ba_rounds(config4.t, 1) + 1,
+        )
+        assert all(o.predicate_holds is None for o in report.outcomes)
+        assert [o.error for o in report.outcomes] == [
+            "ZeroDivisionError: predicate blew up",
+            "ZeroDivisionError: predicate blew up",
+        ]
+        assert not report.all_hold()
+        assert len(report.violations) == 2
+        assert report.errors == report.violations
+        assert "ERROR" in report.errors[0].describe()
+
+    def test_predicate_errors_survive_the_pool(self, config4):
+        """Errors captured in workers round-trip to the report."""
+
+        def sometimes_exploding(answers, faulty, inputs):
+            if 4 in faulty:
+                raise ValueError("bad fault set")
+            return True
+
+        factory = compact_ba_factory(config4, [0, 1], default=0, k=1)
+        kwargs = dict(
+            input_patterns=[{p: 0 for p in config4.process_ids}],
+            fault_sets=[(1,), (4,)],
+            adversary_makers=standard_adversary_makers()[:2],
+            predicate=sometimes_exploding,
+            max_rounds=compact_ba_rounds(config4.t, 1) + 1,
+        )
+        pooled = sweep(factory, config4, workers=2, **kwargs)
+        serial = sweep(factory, config4, workers=1, **kwargs)
+        assert [o.error for o in pooled.outcomes] == [
+            o.error for o in serial.outcomes
+        ]
+        assert len(pooled.errors) == 2
+        assert all(o.error == "ValueError: bad fault set"
+                   for o in pooled.errors)
+        assert all(4 in o.faulty for o in pooled.errors)

@@ -117,6 +117,27 @@ class TestExecutionResult:
         )
         assert result.correct_ids == (1, 2, 4)
 
+    def test_correct_ids_is_ascending_tuple(self, config, inputs):
+        """The annotation promises Tuple[ProcessId, ...], ascending."""
+        result = run_protocol(countdown_factory(2), config, inputs)
+        assert isinstance(result.correct_ids, tuple)
+        assert result.correct_ids == tuple(sorted(config.process_ids))
+
+    def test_correct_ids_tuple_with_faulty(self):
+        from repro.adversary import SilentAdversary
+
+        config = SystemConfig(n=7, t=2)
+        inputs = {p: p * 10 for p in config.process_ids}
+        result = run_protocol(
+            countdown_factory(2),
+            config,
+            inputs,
+            adversary=SilentAdversary([1, 4]),
+        )
+        assert isinstance(result.correct_ids, tuple)
+        assert result.correct_ids == (2, 3, 5, 6, 7)
+        assert not set(result.correct_ids) & {1, 4}
+
 
 class TestDeterminism:
     def test_same_seed_same_outcome(self, config, inputs):

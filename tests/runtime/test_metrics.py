@@ -1,5 +1,7 @@
 """Tests for the communication meters."""
 
+import pytest
+
 from repro.runtime.metrics import MessageMetrics, RoundUsage
 
 
@@ -58,3 +60,24 @@ class TestMessageMetrics:
         assert metrics.total_bits == 0
         assert metrics.rounds_used == 0
         assert metrics.bits_by_round() == []
+
+
+class TestSlots:
+    """RoundUsage is __slots__-only: no per-instance dict on the hot path."""
+
+    def test_no_instance_dict(self):
+        usage = RoundUsage()
+        with pytest.raises(AttributeError):
+            usage.stray = 1  # type: ignore[attr-defined]
+        assert not hasattr(usage, "__dict__")
+
+    def test_equality_and_repr(self):
+        assert RoundUsage(2, 1, 16) == RoundUsage(2, 1, 16)
+        assert RoundUsage(2, 1, 16) != RoundUsage(2, 1, 17)
+        assert "16" in repr(RoundUsage(2, 1, 16))
+
+    def test_defaults_are_zero(self):
+        usage = RoundUsage()
+        assert (usage.messages, usage.non_null_messages, usage.bits) == (
+            0, 0, 0,
+        )

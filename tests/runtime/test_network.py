@@ -4,7 +4,7 @@ import pytest
 
 from repro.adversary.base import Adversary, PassiveAdversary
 from repro.runtime.metrics import MessageMetrics
-from repro.runtime.network import SynchronousNetwork
+from repro.runtime.network import SynchronousNetwork, _default_sizer
 from repro.runtime.node import Process, broadcast
 from repro.runtime.rng import make_rng
 from repro.runtime.trace import ExecutionTrace
@@ -144,3 +144,70 @@ class TestTrace:
         network.run_round()
         assert len(trace.messages_in_round(1)) == 16
         assert set(trace.snapshots_in_round(1)) == {1, 2, 3, 4}
+
+
+class TestDefaultSizer:
+    """The fallback sizer counts every container shape structurally."""
+
+    def test_scalar_leaf(self):
+        assert _default_sizer(7) == 8
+        assert _default_sizer("x") == 8
+
+    def test_bottom_is_free(self):
+        assert _default_sizer(BOTTOM) == 0
+
+    def test_tuple_is_node_plus_components(self):
+        assert _default_sizer((1, 2, 3)) == 2 + 3 * 8
+
+    def test_list_not_undercounted_as_scalar(self):
+        assert _default_sizer([1, 2, 3]) == _default_sizer((1, 2, 3))
+
+    def test_set_and_frozenset(self):
+        assert _default_sizer({1, 2}) == 2 + 2 * 8
+        assert _default_sizer(frozenset({1, 2})) == 2 + 2 * 8
+
+    def test_dict_charges_keys_and_values(self):
+        assert _default_sizer({1: "a", 2: "b"}) == 2 + 4 * 8
+
+    def test_nested_containers(self):
+        assert _default_sizer([(1, 2), [3]]) == 2 + (2 + 16) + (2 + 8)
+
+    def test_bottom_inside_container_is_free(self):
+        assert _default_sizer((BOTTOM, 1)) == 2 + 8
+
+
+class TestHotPathEquivalence:
+    """The skip-trace fast path meters exactly like the traced path."""
+
+    def test_metrics_identical_with_and_without_trace(self):
+        config = SystemConfig(n=4, t=1)
+        _, untraced = build(config, FirstHalfOnly([4]))
+        _, traced = build(config, FirstHalfOnly([4]), trace=ExecutionTrace())
+        for _ in range(3):
+            untraced.run_round()
+            traced.run_round()
+        assert untraced.metrics.total_bits == traced.metrics.total_bits
+        assert (
+            untraced.metrics.total_messages == traced.metrics.total_messages
+        )
+
+    def test_incoming_maps_identical_with_and_without_trace(self):
+        config = SystemConfig(n=4, t=1)
+        untraced_procs, untraced = build(config, FirstHalfOnly([4]))
+        traced_procs, traced = build(
+            config, FirstHalfOnly([4]), trace=ExecutionTrace()
+        )
+        untraced.run_round()
+        traced.run_round()
+        for process_id in untraced_procs:
+            assert (
+                untraced_procs[process_id].rounds
+                == traced_procs[process_id].rounds
+            )
+
+    def test_incoming_covers_every_sender_slot(self):
+        config = SystemConfig(n=4, t=1)
+        processes, network = build(config, FirstHalfOnly([4]))
+        network.run_round()
+        for process in processes.values():
+            assert set(process.rounds[0]) == set(config.process_ids)

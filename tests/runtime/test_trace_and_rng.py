@@ -1,6 +1,7 @@
 """Tests for execution traces and deterministic RNG derivation."""
 
 import numpy as np
+import pytest
 
 from repro.runtime.message import Envelope
 from repro.runtime.rng import derive_rng, make_rng
@@ -29,6 +30,19 @@ class TestTrace:
         envelope = Envelope(1, 2, 3, "payload")
         assert "1->2" in repr(envelope)
         assert "r3" in repr(envelope)
+
+    def test_envelope_value_semantics(self):
+        assert Envelope(1, 2, 3, "p") == Envelope(1, 2, 3, "p")
+        assert Envelope(1, 2, 3, "p") != Envelope(1, 2, 3, "q")
+        assert hash(Envelope(1, 2, 3, "p")) == hash(Envelope(1, 2, 3, "p"))
+        assert Envelope(1, 2, 3, "p") != (1, 2, 3, "p")
+
+    def test_envelope_is_slotted(self):
+        """Envelopes are allocated per delivered message: keep them lean."""
+        envelope = Envelope(1, 2, 3, "p")
+        assert not hasattr(envelope, "__dict__")
+        with pytest.raises(AttributeError):
+            envelope.stray = 1
 
 
 class TestRng:

@@ -73,3 +73,115 @@ def test_pure_automaton_is_clean():
         "    return factory\n"
     )
     assert run_purity_pass(source, "x.py") == []
+
+
+class TestAllFunctionsMode:
+    """Worker modules get every module-level function checked."""
+
+    IMPURE_WORKER = (
+        "_CONTEXT = None\n"
+        "def run_chunk(cells):\n"
+        "    global _CONTEXT\n"
+        "    _CONTEXT = cells\n"
+    )
+
+    def test_plain_functions_skipped_by_default(self):
+        assert run_purity_pass(self.IMPURE_WORKER, "x.py") == []
+
+    def test_all_functions_flags_global_mutation(self):
+        findings = run_purity_pass(
+            self.IMPURE_WORKER, "x.py", all_functions=True
+        )
+        assert {(f.rule, f.symbol) for f in findings} == {
+            ("PUR002", "run_chunk")
+        }
+
+    def test_factories_still_checked_in_all_functions_mode(self):
+        source = "def thing_factory(log=[]):\n    return log\n"
+        findings = run_purity_pass(source, "x.py", all_functions=True)
+        assert [f.rule for f in findings] == ["PUR003"]
+
+
+class TestPurityExempt:
+    def test_justified_exemption_suppresses(self):
+        source = (
+            'PURITY_EXEMPT = {"run_chunk": "fork-pool context plumbing"}\n'
+            "_CONTEXT = None\n"
+            "def run_chunk(cells):\n"
+            "    global _CONTEXT\n"
+            "    _CONTEXT = cells\n"
+        )
+        assert run_purity_pass(source, "x.py", all_functions=True) == []
+
+    def test_exemption_is_per_symbol(self):
+        source = (
+            'PURITY_EXEMPT = {"run_chunk": "fork-pool context plumbing"}\n'
+            "_CONTEXT = None\n"
+            "def run_chunk(cells):\n"
+            "    global _CONTEXT\n"
+            "def other(cells):\n"
+            "    global _CONTEXT\n"
+        )
+        findings = run_purity_pass(source, "x.py", all_functions=True)
+        assert [(f.rule, f.symbol) for f in findings] == [
+            ("PUR002", "other")
+        ]
+
+    def test_exemption_covers_automaton_methods_by_qualified_name(self):
+        source = (
+            'PURITY_EXEMPT = {"Weird.decision": "test double"}\n'
+            "class Weird(AutomatonProtocol):\n"
+            "    def decision(self, process_id, state):\n"
+            "        self.cache = state\n"
+            "        return state\n"
+        )
+        assert run_purity_pass(source, "x.py") == []
+
+    def test_empty_justification_is_pur005(self):
+        source = (
+            'PURITY_EXEMPT = {"run_chunk": ""}\n'
+            "def run_chunk(cells):\n"
+            "    global STATE\n"
+        )
+        findings = run_purity_pass(source, "x.py", all_functions=True)
+        rules = sorted((f.rule, f.symbol) for f in findings)
+        # The unjustified entry does NOT suppress: the PUR002 survives.
+        assert rules == [
+            ("PUR002", "run_chunk"), ("PUR005", "run_chunk"),
+        ]
+
+    def test_dead_entry_is_pur005(self):
+        source = (
+            'PURITY_EXEMPT = {"no_such_function": "stale"}\n'
+            "def fine(x):\n"
+            "    return x\n"
+        )
+        findings = run_purity_pass(source, "x.py", all_functions=True)
+        assert [(f.rule, f.symbol) for f in findings] == [
+            ("PUR005", "no_such_function")
+        ]
+        assert "dead entry" in findings[0].message
+
+    def test_non_dict_declaration_is_pur005(self):
+        source = 'PURITY_EXEMPT = ["run_chunk"]\n'
+        findings = run_purity_pass(source, "x.py")
+        assert [f.rule for f in findings] == ["PUR005"]
+        assert "literal dict" in findings[0].message
+
+    def test_non_string_key_is_pur005(self):
+        source = 'PURITY_EXEMPT = {3: "why"}\n'
+        findings = run_purity_pass(source, "x.py")
+        assert [f.rule for f in findings] == ["PUR005"]
+
+    def test_parallel_module_declaration_is_valid(self):
+        """The shipped worker module's own exemptions lint clean."""
+        import pathlib
+
+        import repro.analysis.parallel as parallel_module
+
+        path = pathlib.Path(parallel_module.__file__)
+        findings = run_purity_pass(
+            path.read_text(), "repro/analysis/parallel.py",
+            all_functions=True,
+        )
+        assert findings == []

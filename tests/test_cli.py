@@ -85,3 +85,57 @@ class TestOtherCommands:
     def test_unknown_command_exits(self, capsys):
         with pytest.raises(SystemExit):
             main(["no-such-command"])
+
+
+class TestBench:
+    def test_quick_suite_writes_json(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "bench.json"
+        code, out = run_cli(
+            capsys, "bench", "--quick", "--workers", "1",
+            "--suite", "avalanche", "--output", str(output),
+        )
+        assert code == 0
+        assert "repro bench" in out
+        assert f"wrote {output}" in out
+        report = json.loads(output.read_text())
+        assert report["schema_version"] == 1
+        assert report["quick"] is True
+        assert report["workers"] == 1
+        assert [s["name"] for s in report["suites"]] == ["avalanche"]
+        suite = report["suites"][0]
+        for key in ("wall_time_s", "executions", "executions_per_sec",
+                    "total_bits", "max_rounds", "violations", "errors"):
+            assert key in suite
+        assert suite["executions"] > 0
+        assert report["totals"]["executions"] == suite["executions"]
+
+    def test_default_output_name_is_dated(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, out = run_cli(
+            capsys, "bench", "--quick", "--workers", "1",
+            "--suite", "avalanche",
+        )
+        assert code == 0
+        written = list(tmp_path.glob("BENCH_*.json"))
+        assert len(written) == 1
+        assert written[0].name in out
+
+    def test_unknown_suite_exits_2(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "bench", "--quick", "--suite", "nonsense",
+            "--output", str(tmp_path / "x.json"),
+        )
+        assert code == 2
+        assert "unknown bench suite" in out
+        assert not (tmp_path / "x.json").exists()
+
+    def test_bad_worker_count_exits_2(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "bench", "--quick", "--workers", "0",
+            "--output", str(tmp_path / "x.json"),
+        )
+        assert code == 2
+        assert "--workers" in out
