@@ -40,6 +40,7 @@ def eig_agreement_factory(
     config: SystemConfig,
     value_alphabet: Sequence[Value],
     default: Optional[Value] = None,
+    intern: bool = True,
 ):
     """A run_protocol factory for the exponential baseline."""
     if default is None:
@@ -51,6 +52,7 @@ def eig_agreement_factory(
         value_alphabet=value_alphabet,
         decision_rule=rule,
         horizon=config.t + 1,
+        intern=intern,
     )
 
 
@@ -62,9 +64,12 @@ def run_eig_agreement(
     default: Optional[Value] = None,
     seed: int = 0,
     record_trace: bool = False,
+    intern: bool = True,
 ) -> ExecutionResult:
     """Run the ``t + 1``-round exponential protocol, fully metered."""
-    factory = eig_agreement_factory(config, value_alphabet, default=default)
+    factory = eig_agreement_factory(
+        config, value_alphabet, default=default, intern=intern
+    )
     return run_protocol(
         factory,
         config,

@@ -184,7 +184,7 @@ def bench_fullinfo_crossover(quick: bool, workers: int) -> SuiteResult:
     from repro.compact.payload import compact_sizer, payload_is_null
     from repro.fullinfo.protocol import full_information_sizer
 
-    config = SystemConfig(n=4, t=1) if quick else SystemConfig(n=7, t=2)
+    config = SystemConfig(n=4, t=1) if quick else SystemConfig(n=10, t=3)
     fault_sets: Sequence[Tuple[int, ...]] = [(1,)] if quick else [(1, 2)]
     makers = standard_adversary_makers()
     seeds = (0,) if quick else (0, 1)
@@ -231,6 +231,52 @@ def bench_fullinfo_crossover(quick: bool, workers: int) -> SuiteResult:
             ),
             "eig_max_rounds": eig_report.max_rounds(),
             "compact_max_rounds": compact_report.max_rounds(),
+            "eig_wall_time_s": round(eig_elapsed, 6),
+            "compact_wall_time_s": round(compact_elapsed, 6),
+        },
+    )
+
+
+def bench_fullinfo_deep(quick: bool, workers: int) -> SuiteResult:
+    """Deep full-information state building over the shared-node DAG.
+
+    ``n = 4`` for 10 (quick) / 13 (full) rounds: the final states stand
+    for up to ``4 ** 12`` (quick: ``4 ** 9``) leaves, far past what the
+    per-round O(``n ** r``) validation and sizing walks of the plain
+    tuple representation can complete — this suite exists because the
+    hash-consing kernel (:mod:`repro.arrays.store`) makes each round
+    O(new nodes).  ``leaves_per_state`` in the details records the size
+    of the tree each final state stands for.
+    """
+    from repro.adversary import EquivocatingAdversary, SilentAdversary
+    from repro.fullinfo.protocol import (
+        full_information_factory,
+        full_information_sizer,
+    )
+
+    config = SystemConfig(n=4, t=1)
+    rounds = 10 if quick else 13
+    report, elapsed = _timed_sweep(lambda: sweep(
+        full_information_factory([0, 1]),
+        config,
+        input_patterns=_patterns(config, 2),
+        fault_sets=[(1,)],
+        adversary_makers=[
+            ("silent", SilentAdversary),
+            ("equivocator", lambda f: EquivocatingAdversary(f, 0, 1)),
+        ],
+        seeds=(0,),
+        run_full_rounds=rounds,
+        sizer=full_information_sizer(2, config.n),
+        workers=workers,
+    ))
+    return _suite_result(
+        "fullinfo-deep", report, elapsed,
+        {
+            "n": config.n,
+            "t": config.t,
+            "rounds_per_execution": rounds,
+            "leaves_per_state": config.n ** rounds,
         },
     )
 
@@ -240,6 +286,7 @@ SUITES: Dict[str, Callable[[bool, int], SuiteResult]] = {
     "avalanche": bench_avalanche,
     "compact-ba": bench_compact_ba,
     "fullinfo-crossover": bench_fullinfo_crossover,
+    "fullinfo-deep": bench_fullinfo_deep,
 }
 
 
@@ -281,6 +328,62 @@ def run_bench(
             "errors": sum(result.errors for result in results),
         },
     }
+
+
+def compare_reports(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = 0.25,
+    floor_s: float = 0.1,
+) -> List[str]:
+    """Per-suite regression verdicts against a baseline report.
+
+    Returns a list of problem strings; empty means the gate passes.
+    Wall time may regress by up to ``threshold`` (a fraction) per
+    suite — and a regression under ``floor_s`` seconds absolute is
+    never flagged, so sub-100ms suites don't trip on timer noise; the
+    deterministic quantities (executions, total bits, max rounds,
+    violations, errors) must match exactly — drift there signals a
+    semantic change, not noise.  Suites present in only one report are
+    skipped: a new suite has nothing to regress against.
+    """
+    problems: List[str] = []
+    for field in ("quick", "workers"):
+        if current.get(field) != baseline.get(field):
+            problems.append(
+                f"config mismatch: current {field}={current.get(field)!r} "
+                f"vs baseline {field}={baseline.get(field)!r} — "
+                "runs are not comparable"
+            )
+    baseline_suites = {
+        suite["name"]: suite for suite in baseline.get("suites", [])
+    }
+    for suite in current.get("suites", []):
+        name = suite["name"]
+        base = baseline_suites.get(name)
+        if base is None:
+            continue
+        base_time = base.get("wall_time_s", 0.0)
+        wall_time = suite["wall_time_s"]
+        if (
+            base_time > 0
+            and wall_time > base_time * (1.0 + threshold)
+            and wall_time - base_time > floor_s
+        ):
+            problems.append(
+                f"{name}: wall time {wall_time:.3f}s exceeds baseline "
+                f"{base_time:.3f}s by more than {threshold:.0%}"
+            )
+        for field in (
+            "executions", "total_bits", "max_rounds", "violations", "errors"
+        ):
+            if field in base and suite.get(field) != base[field]:
+                problems.append(
+                    f"{name}: {field} drifted from {base[field]} to "
+                    f"{suite.get(field)} (deterministic quantity — "
+                    "regenerate the baseline if the change is intended)"
+                )
+    return problems
 
 
 def default_output_path(

@@ -17,8 +17,21 @@ comparable, and directly printable.  The paper's "undefined" element
 is :data:`repro.types.BOTTOM`; by the paper's convention an array is
 undefined whenever any element of it is undefined, and a partial
 function applied to an undefined argument is undefined.
+
+Because the protocols broadcast, these trees are overwhelmingly
+*shared* substructure; :mod:`repro.arrays.store` hash-conses them into
+canonical :class:`~repro.arrays.store.InternedArray` nodes (still
+tuples, so nothing above notices) with precomputed shape metadata, and
+every walk in this package takes an O(unique nodes) — usually O(1) —
+fast path over them.
 """
 
+from repro.arrays.store import (
+    ArrayStore,
+    InternedArray,
+    clear_shared_stores,
+    shared_store,
+)
 from repro.arrays.value_array import (
     array_depth,
     array_leaves,
@@ -31,6 +44,7 @@ from repro.arrays.value_array import (
     map_leaves,
     replace_at,
     uniform_array,
+    unique_leaves,
     validate_array,
 )
 from repro.arrays.partial import (
@@ -49,6 +63,11 @@ from repro.arrays.encoding import (
 )
 
 __all__ = [
+    "ArrayStore",
+    "InternedArray",
+    "clear_shared_stores",
+    "shared_store",
+    "unique_leaves",
     "array_depth",
     "array_leaves",
     "count_leaves",

@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.arrays.store import InternedArray
 from repro.errors import EncodingError
 from repro.types import is_bottom
 
@@ -51,10 +52,36 @@ def bits_for_alphabet(size: int) -> int:
     return math.ceil(math.log2(size))
 
 
+def _interned_node_count(array: InternedArray) -> int:
+    """Tuple nodes in the tree an interned array stands for.
+
+    A well-shaped depth-``d`` array over ``n`` ids has
+    ``1 + n + ... + n**(d-1) = (n**d - 1) / (n - 1)`` tuple nodes
+    (``d`` nodes when ``n == 1``); ``leaf_count`` is ``n ** d``, so
+    the count is O(1) arithmetic on precomputed metadata.
+    """
+    n = len(array)
+    if n == 1:
+        return array.depth
+    return (array.leaf_count - 1) // (n - 1)
+
+
 def encoded_array_bits(array: Any, leaf_bits: int) -> int:
-    """Measured size of a nested-tuple array with uniform leaf cost."""
+    """Measured size of a nested-tuple array with uniform leaf cost.
+
+    For an interned array with no :data:`~repro.types.BOTTOM` leaves
+    the size is closed-form (every leaf costs ``leaf_bits``, every
+    tuple node :data:`HEADER_BITS`), so measurement is O(1) instead of
+    O(``n ** depth``) — bottoms cost 0 bits, so undefined arrays fall
+    back to the walk.
+    """
     if is_bottom(array):
         return NULL_BITS
+    if isinstance(array, InternedArray) and array.defined:
+        return (
+            array.leaf_count * leaf_bits
+            + _interned_node_count(array) * HEADER_BITS
+        )
     if isinstance(array, tuple):
         return HEADER_BITS + sum(
             encoded_array_bits(component, leaf_bits) for component in array
@@ -80,12 +107,19 @@ def encoded_message_bits(message: Any, leaf_bits: Callable[[Any], int]) -> int:
 def structural_key(message: Any) -> Any:
     """A hashable cache key capturing a message's *typed* structure.
 
-    Equal messages of equal leaf types share a key, so a sizer may
-    memoize on it.  The key must discriminate leaf types because
-    measurement does: ``True == 1`` yet a bool is charged as a value
-    while a small int may be charged as an index.  Raises ``TypeError``
-    for unhashable leaves (callers then skip the cache).
+    Equal keys imply equal typed structure, so a sizer may memoize on
+    them.  The key must discriminate leaf types because measurement
+    does: ``True == 1`` yet a bool is charged as a value while a small
+    int may be charged as an index.  Raises ``TypeError`` for
+    unhashable leaves (callers then skip the cache).
+
+    An interned array returns its ``key_token`` in O(1): the store
+    already discriminates leaf types, so canonical-node *identity* is
+    typed structure.  (A plain tuple and its interned twin get
+    different keys — both correct, one cold cache entry.)
     """
+    if isinstance(message, InternedArray):
+        return message.key_token
     if isinstance(message, tuple):
         return tuple(structural_key(component) for component in message)
     hash(message)  # unhashable -> TypeError, caller falls back
@@ -131,7 +165,13 @@ class MessageSizer:
         return self.value_bits
 
     def measure(self, message: Any) -> int:
-        """Exact measured size of ``message`` in bits (memoized)."""
+        """Exact measured size of ``message`` in bits (memoized).
+
+        Interned arrays recurse through this cache per *component*:
+        children are canonical nodes with O(1) keys, so a new round's
+        state — one new node over last round's children — costs one
+        cache insert instead of a full O(``n ** depth``) walk.
+        """
         try:
             key: Optional[Tuple[Any, ...]] = (structural_key(message),)
         except TypeError:
@@ -140,7 +180,12 @@ class MessageSizer:
             cached = self._cache.get(key)
             if cached is not None:
                 return cached
-        bits = encoded_message_bits(message, self._leaf_bits)
+        if isinstance(message, InternedArray):
+            bits = HEADER_BITS + sum(
+                self.measure(component) for component in message
+            )
+        else:
+            bits = encoded_message_bits(message, self._leaf_bits)
         if key is not None:
             self._cache[key] = bits
         return bits

@@ -20,7 +20,7 @@ different rounds.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable
+from typing import Any, Callable, Dict, Iterable, Optional
 
 from repro.types import BOTTOM, is_bottom
 
@@ -34,7 +34,9 @@ class PartialFunction:
     underlying callable, enforcing the paper's convention.
     """
 
-    def __init__(self, function: Callable[[Any], Any], name: str = None):
+    def __init__(
+        self, function: Callable[[Any], Any], name: Optional[str] = None
+    ):
         self._function = function
         self.name = name or getattr(function, "__name__", "partial")
 
@@ -56,7 +58,9 @@ def identity() -> PartialFunction:
     return PartialFunction(lambda value: value, name="identity")
 
 
-def table_function(table: Dict[Any, Any], name: str = None) -> PartialFunction:
+def table_function(
+    table: Dict[Any, Any], name: Optional[str] = None
+) -> PartialFunction:
     """A partial function defined by a lookup table.
 
     Arguments missing from the table map to :data:`BOTTOM`.  The table
@@ -71,7 +75,7 @@ def table_function(table: Dict[Any, Any], name: str = None) -> PartialFunction:
 
 
 def compose(outer: Callable[[Any], Any], inner: Callable[[Any], Any],
-            name: str = None) -> PartialFunction:
+            name: Optional[str] = None) -> PartialFunction:
     """Compose two partial functions; bottom propagates through both."""
 
     def composed(value: Any) -> Any:

@@ -16,12 +16,20 @@ gathering (EIG) tree view in :mod:`repro.fullinfo.eig`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.arrays.store import InternedArray
 from repro.errors import ProtocolViolation
-from repro.types import BOTTOM, is_bottom
+from repro.types import is_bottom
 
 Path = Tuple[int, ...]
+
+# Fast-path note: an InternedArray whose top level has length ``n``
+# was, by the store invariant (every level of a store-``n`` node has
+# length exactly ``n``), shape-validated at intern time for this very
+# ``n`` — so shape walks collapse to O(1) metadata reads.  All fast
+# paths below are exact: they return precisely what the plain
+# recursive walk would.
 
 
 def make_array(components: Sequence[Any]) -> Tuple[Any, ...]:
@@ -56,6 +64,8 @@ def array_depth(array: Any, n: int) -> int:
     """
     if not isinstance(array, tuple):
         return 0
+    if isinstance(array, InternedArray) and len(array) == n:
+        return array.depth
     if len(array) != n:
         raise ProtocolViolation(
             f"array level has length {len(array)}, expected n={n}"
@@ -69,15 +79,26 @@ def array_depth(array: Any, n: int) -> int:
 def validate_array(
     array: Any,
     n: int,
-    depth: int = None,
-    leaf_ok: Callable[[Any], bool] = None,
+    depth: Optional[int] = None,
+    leaf_ok: Optional[Callable[[Any], bool]] = None,
 ) -> bool:
     """Check shape (and optionally depth and leaf membership).
 
     Returns ``True`` when the array is well-formed; ``False`` otherwise
     (never raises, unlike :func:`array_depth`).  This is the defensive
     entry point for anything received from a possibly faulty sender.
+
+    An interned array short-circuits the shape walk entirely, and the
+    leaf predicate runs over the node's *distinct* typed leaves rather
+    than all ``n ** depth`` occurrences — same verdict, since a
+    predicate's answer depends only on the leaf itself.
     """
+    if isinstance(array, InternedArray) and len(array) == n:
+        if depth is not None and array.depth != depth:
+            return False
+        if leaf_ok is not None:
+            return all(leaf_ok(leaf) for _, leaf in array.leaves_unique)
+        return True
     try:
         actual = array_depth(array, n)
     except ProtocolViolation:
@@ -102,6 +123,8 @@ def count_leaves(array: Any) -> int:
     """Number of scalar leaves (``n ** depth`` for a well-shaped array)."""
     if not isinstance(array, tuple):
         return 1
+    if isinstance(array, InternedArray):
+        return array.leaf_count
     return sum(count_leaves(component) for component in array)
 
 
@@ -110,7 +133,30 @@ def is_defined_array(array: Any) -> bool:
 
     A bare :data:`BOTTOM` is also undefined.
     """
+    if isinstance(array, InternedArray):
+        return array.defined
     return not any(is_bottom(leaf) for leaf in array_leaves(array))
+
+
+def unique_leaves(array: Any) -> Tuple[Tuple[type, Any], ...]:
+    """The distinct typed leaves of ``array`` in first-occurrence order.
+
+    ``(type(leaf), leaf)`` pairs, deduplicated by typed equality —
+    ``True`` and ``1`` stay distinct even though they compare equal.
+    O(1) for interned arrays; one walk otherwise.  Raises ``TypeError``
+    when a leaf is unhashable (callers then fall back to
+    :func:`array_leaves`).
+    """
+    if isinstance(array, InternedArray):
+        return array.leaves_unique
+    ordered: List[Tuple[type, Any]] = []
+    seen: Dict[Tuple[type, Any], None] = {}
+    for leaf in array_leaves(array):
+        typed = (leaf.__class__, leaf)
+        if typed not in seen:
+            seen[typed] = None
+            ordered.append(typed)
+    return tuple(ordered)
 
 
 def map_leaves(function: Callable[[Any], Any], array: Any) -> Any:

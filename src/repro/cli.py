@@ -137,6 +137,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="output JSON path (default: ./BENCH_<date>.json)",
     )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="baseline BENCH_*.json to gate against; exits non-zero on "
+        "a >25%% per-suite wall-time regression or any drift in the "
+        "deterministic counters (executions, bits, rounds)",
+    )
 
     lint = commands.add_parser(
         "lint",
@@ -287,6 +295,7 @@ def _command_bench(args):
     import pathlib
 
     from repro.analysis.bench import (
+        compare_reports,
         default_output_path,
         render_report,
         run_bench,
@@ -298,6 +307,14 @@ def _command_bench(args):
         workers = min(4, os.cpu_count() or 1)
     if workers < 1:
         return f"error: --workers must be >= 1, got {workers}", 2
+    baseline = None
+    if args.compare is not None:
+        baseline_path = pathlib.Path(args.compare)
+        if not baseline_path.is_file():
+            return f"error: baseline {baseline_path} not found", 2
+        import json
+
+        baseline = json.loads(baseline_path.read_text())
     try:
         report = run_bench(
             suites=args.suite, quick=args.quick, workers=workers
@@ -310,7 +327,14 @@ def _command_bench(args):
         else default_output_path()
     )
     write_report(report, path)
-    return f"{render_report(report)}\n\nwrote {path}"
+    output = f"{render_report(report)}\n\nwrote {path}"
+    if baseline is not None:
+        problems = compare_reports(report, baseline)
+        if problems:
+            verdict = "\n".join(f"REGRESSION: {line}" for line in problems)
+            return f"{output}\n\n{verdict}", 1
+        output += f"\n\ncompare: no regressions against {args.compare}"
+    return output
 
 
 def _command_lint(args):

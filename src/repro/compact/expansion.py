@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.arrays.partial import substitutive_apply
+from repro.arrays.store import ArrayStore, InternedArray
 from repro.errors import ProtocolViolation
 from repro.types import BOTTOM, ProcessId, SystemConfig, Value, is_bottom
 
@@ -33,13 +34,24 @@ from repro.types import BOTTOM, ProcessId, SystemConfig, Value, is_bottom
 class ExpansionState:
     """OUT tables plus memoised expansion, for one processor."""
 
-    def __init__(self, config: SystemConfig, value_alphabet: Sequence[Value]):
+    def __init__(
+        self,
+        config: SystemConfig,
+        value_alphabet: Sequence[Value],
+        store: Optional[ArrayStore] = None,
+    ):
         self.config = config
         self._alphabet = frozenset(value_alphabet)
+        self._store = store
         # (boundary, sender) -> agreed end-of-block CORE of sender.
         self._out: Dict[Tuple[int, ProcessId], Any] = {}
         # (boundary, array) -> defined expansion result.
         self._cache: Dict[Tuple[int, Any], Any] = {}
+        # (boundary, canonical-node key token) -> defined expansion.
+        # Canonical sub-arrays are shared across senders and rounds, so
+        # this memo turns re-expansion of an already-seen CORE into one
+        # dictionary hit per *new* node instead of a full tree walk.
+        self._node_cache: Dict[Tuple[int, Any], Any] = {}
 
     # -- OUT table maintenance ---------------------------------------------
 
@@ -101,6 +113,12 @@ class ExpansionState:
         """
         if is_bottom(array):
             return BOTTOM
+        if (
+            self._store is not None
+            and type(array) is InternedArray
+            and array.store is self._store
+        ):
+            return self._expand_interned(boundary, array)
         cache_key: Optional[Tuple[int, Any]]
         try:
             cache_key = (boundary, array)
@@ -116,6 +134,41 @@ class ExpansionState:
             # Undefined results may become defined later, so they are
             # deliberately not cached.
             self._cache[cache_key] = result
+        return result
+
+    def _expand_interned(self, boundary: int, node: InternedArray) -> Any:
+        """``phi_b`` over the canonical DAG, memoised per unique node.
+
+        Same defined-results-only caching rule as :meth:`expand`: OUT
+        entries are irrevocable, so a defined expansion never changes,
+        while an undefined one may become defined as decisions land.
+        """
+        key = (boundary, node.key_token)
+        cached = self._node_cache.get(key)
+        if cached is not None:
+            return cached
+        if boundary == 1:
+            # phi_1 is the identity on value arrays; the node IS its
+            # own expansion when every distinct leaf is a value.
+            result: Any = (
+                node
+                if all(leaf in self._alphabet for _, leaf in node.leaves_unique)
+                else BOTTOM
+            )
+        else:
+            expanded = []
+            for component in node:
+                if type(component) is InternedArray:
+                    piece = self._expand_interned(boundary, component)
+                else:
+                    piece = self.expand_scalar(boundary, component)
+                if is_bottom(piece):
+                    return BOTTOM
+                expanded.append(piece)
+            assert self._store is not None  # guarded by expand()
+            result = self._store.intern(tuple(expanded))
+        if not is_bottom(result):
+            self._node_cache[key] = result
         return result
 
     def defined(self, boundary: int, array: Any) -> bool:

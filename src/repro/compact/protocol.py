@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.avalanche.fast import fast_thresholds
 from repro.avalanche.protocol import Thresholds, standard_thresholds
+from repro.arrays.store import ArrayStore, shared_store
 from repro.arrays.value_array import is_index_scalar, validate_array
 from repro.compact.expansion import ExpansionState
 from repro.compact.payload import CompactPayload
@@ -82,6 +83,7 @@ class CompactProcess(Process):
         overhead: int = 2,
         thresholds: Optional[Thresholds] = None,
         expose_full_state: bool = False,
+        intern: bool = True,
     ):
         """
         Parameters
@@ -104,6 +106,10 @@ class CompactProcess(Process):
         expose_full_state:
             Include the (exponential) expanded state in snapshots, for
             the simulation checker.  Test scale only.
+        intern:
+            Hash-cons COREs through the shared store (the default);
+            honest messages then validate and expand through O(1)
+            canonical-node fast paths.  ``False`` keeps plain tuples.
         """
         super().__init__(process_id, config)
         alphabet = frozenset(value_alphabet)
@@ -119,7 +125,10 @@ class CompactProcess(Process):
             )
         self.schedule = BlockSchedule(k, overhead)
         self.k = k
-        self.expansion = ExpansionState(config, value_alphabet)
+        self._store: Optional[ArrayStore] = (
+            shared_store(config.n) if intern else None
+        )
+        self.expansion = ExpansionState(config, value_alphabet, store=self._store)
         self._alphabet = alphabet
         self._thresholds = thresholds
         self._decision_rule = decision_rule
@@ -216,9 +225,7 @@ class CompactProcess(Process):
                 # Substitute the receiver's own previous CORE — the
                 # right shape and expandable by construction.
                 components.append(self.core)
-        self.core = tuple(components)
-        self.core_boundary = block
-        self._assert_core_expandable()
+        self._set_core(tuple(components), block)
 
     def _rebase_core(self, block: int) -> None:
         components = []
@@ -229,7 +236,10 @@ class CompactProcess(Process):
                 components.append(sender)
             else:
                 components.append(self.process_id)
-        self.core = tuple(components)
+        self._set_core(tuple(components), block)
+
+    def _set_core(self, core: Any, block: int) -> None:
+        self.core = self._store.intern(core) if self._store is not None else core
         self.core_boundary = block
         self._assert_core_expandable()
 
@@ -333,6 +343,7 @@ def compact_factory(
     overhead: int = 2,
     thresholds: Optional[Thresholds] = None,
     expose_full_state: bool = False,
+    intern: bool = True,
 ):
     """A run_protocol factory for Protocol 3."""
 
@@ -350,6 +361,7 @@ def compact_factory(
             overhead=overhead,
             thresholds=thresholds,
             expose_full_state=expose_full_state,
+            intern=intern,
         )
 
     return factory

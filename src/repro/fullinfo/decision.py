@@ -34,7 +34,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
 
-from repro.arrays.value_array import array_depth, leaf_at
+from repro.arrays.store import InternedArray
+from repro.arrays.value_array import array_depth, unique_leaves
 from repro.core.automaton import AutomatonProtocol
 from repro.errors import ProtocolViolation
 from repro.types import BOTTOM, ProcessId, Value
@@ -96,11 +97,19 @@ class DerivedDecisionRule:
         self.horizon = (
             horizon if horizon is not None else protocol.rounds_to_decide
         )
+        # Persistent across calls: a round-``r + 1`` state contains the
+        # round-``r`` states as sub-arrays (canonically shared nodes
+        # when interning is on), so reconstruction of a new round only
+        # pays for the top layer.  Sound because ``f_p`` is a pure
+        # function of (process, sub-array) for a fixed protocol.
+        self._memo: Dict[Tuple[ProcessId, Any], Any] = {}
 
     def __call__(self, state: Any, simulated_round: int, process_id: ProcessId) -> Value:
         if self.horizon is not None and simulated_round < self.horizon:
             return BOTTOM
-        reconstructed = reconstruct_state(self.protocol, process_id, state)
+        reconstructed = reconstruct_state(
+            self.protocol, process_id, state, self._memo
+        )
         return self.protocol.decision(process_id, reconstructed)
 
 
@@ -140,36 +149,77 @@ def eig_byzantine_decision(
         except TypeError:
             return default
 
-    # Chains are reverse-chronological array paths with distinct labels;
-    # resolve(path) is Lynch's newval on the corresponding EIG node.
-    memo: Dict[Chain, Value] = {}
+    # All leaves equal (O(1) to see on an interned state): every full
+    # chain records the one normalised value, so by induction every
+    # node — each has at least one child since ``depth <= n`` — holds
+    # it as a strict (unanimous) majority, and so does the root.
+    if isinstance(state, InternedArray) and len(state.leaves_unique) == 1:
+        return normalise(state.leaves_unique[0][1])
 
-    def resolve(path: Chain) -> Value:
-        if path in memo:
-            return memo[path]
+    # Precompute the deterministic vote order once: every vote a node
+    # can tally is a normalised leaf or the default.  The old code
+    # re-sorted each node's tally by repr; the tie-break provably
+    # cannot change the decision (a strict-majority winner is unique,
+    # and without one the node resolves to ``default``), but ranking
+    # keeps ``best_value`` selection bit-for-bit identical.
+    candidates: Dict[Hashable, None] = {default: None}
+    try:
+        for _, leaf in unique_leaves(state):
+            candidates[normalise(leaf)] = None
+    except TypeError:  # unhashable leaf with no alphabet to launder it
+        pass
+    rank = {
+        vote: position
+        for position, vote in enumerate(sorted(candidates, key=repr))
+    }
+    unranked = len(rank)
+
+    # Chains are reverse-chronological array paths with distinct
+    # labels; a chain's resolution is Lynch's newval on the
+    # corresponding EIG node.  Computed bottom-up: one depth-first
+    # descent of the (structurally shared) array reads every
+    # full-length chain's leaf at O(1) amortized per chain — chains
+    # sharing an array-path prefix share the descent — then each
+    # shrink pass tallies length-``l + 1`` resolutions under their
+    # length-``l`` suffix, since extending a chain *prepends* the
+    # later relayer in array-path order.
+    resolved: Dict[Chain, Value] = {}
+
+    def record_leaves(node: Any, path: Chain) -> None:
         if len(path) == depth:
-            value = normalise(leaf_at(state, path))
-            memo[path] = value
-            return value
-        # One more (chronologically later) relayer is *prepended* in
-        # array-path order; only distinct labels participate.
-        tally: Dict[Hashable, int] = {}
-        children = 0
+            resolved[path] = normalise(node)
+            return
         for relayer in range(1, n + 1):
             if relayer in path:
                 continue
-            children += 1
-            vote = resolve((relayer,) + path)
-            tally[vote] = tally.get(vote, 0) + 1
-        best_value, best_count = default, 0
-        for vote, count in sorted(tally.items(), key=lambda item: repr(item[0])):
-            if count > best_count:
-                best_value, best_count = vote, count
-        value = best_value if best_count * 2 > children else default
-        memo[path] = value
-        return value
+            record_leaves(node[relayer - 1], path + (relayer,))
 
-    return resolve(())
+    record_leaves(state, ())
+
+    for _ in range(depth):
+        tallies: Dict[Chain, Dict[Hashable, int]] = {}
+        for chain, vote in resolved.items():
+            suffix = chain[1:]
+            tally = tallies.get(suffix)
+            if tally is None:
+                tally = tallies[suffix] = {}
+            tally[vote] = tally.get(vote, 0) + 1
+        resolved = {}
+        for suffix, tally in tallies.items():
+            children = n - len(suffix)
+            best_value, best_count = default, 0
+            for vote, count in tally.items():
+                if count > best_count or (
+                    count == best_count
+                    and best_count > 0
+                    and rank.get(vote, unranked) < rank.get(best_value, unranked)
+                ):
+                    best_value, best_count = vote, count
+            resolved[suffix] = (
+                best_value if best_count * 2 > children else default
+            )
+
+    return resolved[()]
 
 
 def make_eig_decision_rule(

@@ -22,10 +22,15 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.arrays.encoding import MessageSizer
+from repro.arrays.store import ArrayStore, InternedArray, shared_store
 from repro.arrays.value_array import validate_array
 from repro.core.automaton import AutomatonProtocol
 from repro.runtime.node import Process, broadcast
 from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value
+
+# Sentinel distinguishing "message rejected" from a legal message that
+# happens to be None (None is a perfectly good alphabet value).
+_REJECT = object()
 
 # A decision rule examines (state, simulated_round, process_id) and
 # returns a value or BOTTOM.
@@ -43,6 +48,7 @@ class FullInformationProcess(Process):
         value_alphabet: Sequence[Value],
         decision_rule: Optional[DecisionRule] = None,
         horizon: Optional[int] = None,
+        intern: bool = True,
     ):
         """
         Parameters
@@ -58,6 +64,14 @@ class FullInformationProcess(Process):
         horizon:
             If given, the rule is only consulted from this round on
             (saves exponential decision work in earlier rounds).
+        intern:
+            Hash-cons states through the shared
+            :class:`~repro.arrays.store.ArrayStore` (the default).
+            States remain tuples — equal, iterable and pickled exactly
+            as before — but validation and sizing become O(new nodes)
+            per round instead of O(``n ** round``).  ``False`` keeps
+            plain tuples (the reference mode the byte-identity tests
+            compare against).
         """
         super().__init__(process_id, config)
         self.state: Any = input_value
@@ -65,21 +79,73 @@ class FullInformationProcess(Process):
         self._decision_rule = decision_rule
         self._horizon = horizon
         self.rounds_completed = 0
+        self._store: Optional[ArrayStore] = (
+            shared_store(config.n) if intern else None
+        )
+        # Canonical node -> "leaves all in V" verdict, shared across
+        # rounds: a subtree vetted at round r is the *same node* when
+        # it reappears inside round r + 1 states, so the exponential
+        # re-validation the plain path pays every round collapses to
+        # one dictionary hit.
+        self._leaf_verdicts: Dict[Any, bool] = {}
 
     def outgoing(self, round_number: Round) -> Dict[ProcessId, Any]:
         return broadcast(self.state, self.config)
 
     def receive(self, round_number: Round, incoming: Dict[ProcessId, Any]) -> None:
         expected_depth = round_number - 1
+        store = self._store
         components = []
         for sender in self.config.process_ids:
-            message = incoming[sender]
-            if not self._is_legal_message(message, expected_depth):
-                message = self.state  # own previous state: right shape
+            if store is not None:
+                message = self._canonical_legal(
+                    incoming[sender], expected_depth
+                )
+                if message is _REJECT:
+                    message = self.state  # own previous state: right shape
+            else:
+                message = incoming[sender]
+                if not self._is_legal_message(message, expected_depth):
+                    message = self.state
             components.append(message)
-        self.state = tuple(components)
+        state = tuple(components)
+        self.state = store.intern(state) if store is not None else state
         self.rounds_completed = round_number
         self._maybe_decide(round_number)
+
+    def _canonical_legal(self, message: Any, expected_depth: int) -> Any:
+        """The interned legal message, or :data:`_REJECT`.
+
+        A message that is already a canonical node of the shared store
+        (the broadcast common case: the sender interned it last round)
+        validates in O(1) metadata checks plus one verdict-cache hit.
+        Plain tuples from an adversary pay one intern walk — shape
+        validation included — and then join the fast path for every
+        later round they are replayed in.
+        """
+        if expected_depth == 0:
+            # Depth-0 arrays are bare scalars from V.
+            if isinstance(message, tuple) or not self._leaf_ok(message):
+                return _REJECT
+            return message
+        store = self._store
+        assert store is not None  # caller guards
+        if type(message) is InternedArray and message.store is store:
+            node = message
+        else:
+            maybe = store.try_intern(message)
+            if maybe is None:
+                return _REJECT  # scalar, ragged, wrong-n or unhashable
+            node = maybe
+        if node.depth != expected_depth:
+            return _REJECT
+        verdict = self._leaf_verdicts.get(node.key_token)
+        if verdict is None:
+            verdict = all(
+                self._leaf_ok(leaf) for _, leaf in node.leaves_unique
+            )
+            self._leaf_verdicts[node.key_token] = verdict
+        return node if verdict else _REJECT
 
     def _is_legal_message(self, message: Any, expected_depth: int) -> bool:
         if message is BOTTOM:
@@ -114,6 +180,7 @@ def full_information_factory(
     value_alphabet: Sequence[Value],
     decision_rule: Optional[DecisionRule] = None,
     horizon: Optional[int] = None,
+    intern: bool = True,
 ):
     """A run_protocol factory for Protocol 1."""
 
@@ -127,6 +194,7 @@ def full_information_factory(
             value_alphabet=value_alphabet,
             decision_rule=decision_rule,
             horizon=horizon,
+            intern=intern,
         )
 
     return factory

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.adversary.base import Adversary, RoundContext
+from repro.arrays.store import InternedArray
 from repro.runtime.message import Envelope
 from repro.runtime.metrics import MessageMetrics
 from repro.runtime.node import Process
@@ -107,6 +108,11 @@ class SynchronousNetwork:
         # outgoing maps keep payloads alive for the round, so an id can
         # never be reused while cached.
         self._size_cache: Dict[int, int] = {}
+        # Cross-round memo for hash-consed payloads: a canonical node's
+        # key_token is unique for the store's lifetime (the store holds
+        # the node alive), so this cache is never cleared — a value
+        # array re-broadcast in a later round is sized by one dict hit.
+        self._interned_size_cache: Dict[Any, int] = {}
 
     def run_round(self) -> Round:
         """Execute one full round; returns its (1-based) number."""
@@ -159,7 +165,19 @@ class SynchronousNetwork:
         return round_number
 
     def _measured_bits(self, payload: Any) -> int:
-        """The sizer's verdict for ``payload``, memoized for this round."""
+        """The sizer's verdict for ``payload``, memoized.
+
+        Interned payloads memoize on their stable ``key_token`` and
+        survive round boundaries; everything else memoizes on object
+        identity within the round.
+        """
+        if type(payload) is InternedArray:
+            token = payload.key_token
+            bits = self._interned_size_cache.get(token)
+            if bits is None:
+                bits = self.sizer(payload)
+                self._interned_size_cache[token] = bits
+            return bits
         key = id(payload)
         bits = self._size_cache.get(key)
         if bits is None:

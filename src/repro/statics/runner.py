@@ -20,7 +20,14 @@ from repro.statics.findings import Finding
 from repro.statics.purity import run_purity_pass
 
 #: The packages whose files get the determinism and purity passes.
-PROTOCOL_PACKAGES = ("core", "agreement", "avalanche", "compact", "fullinfo")
+#: ``arrays`` joined when the hash-consing store landed: interning is
+#: observationally pure and must stay that way (canonical nodes are
+#: compared and cached across processes), so its module-level shared
+#: registry carries a ``PURITY_EXEMPT`` justification rather than an
+#: exclusion from scanning.
+PROTOCOL_PACKAGES = (
+    "arrays", "core", "agreement", "avalanche", "compact", "fullinfo"
+)
 
 #: Modules whose entry points are replayed *outside* the calling
 #: process (forked sweep-pool workers) — the process-level analogue of
@@ -28,7 +35,7 @@ PROTOCOL_PACKAGES = ("core", "agreement", "avalanche", "compact", "fullinfo")
 #: purity pass over every module-level function; structural impurities
 #: (fork-pool context globals) are exempted in-module via a justified
 #: ``PURITY_EXEMPT`` declaration rather than ad-hoc markers.
-WORKER_MODULES = ("analysis/parallel.py",)
+WORKER_MODULES = ("analysis/parallel.py", "arrays/store.py")
 
 
 @dataclasses.dataclass
@@ -61,6 +68,7 @@ def collect_findings(package_root: pathlib.Path) -> List[Finding]:
     """Run every pass over the tree rooted at ``package_root``."""
     findings: List[Finding] = []
     prefix = package_root.name
+    worker_paths = {package_root / module for module in WORKER_MODULES}
     for package in PROTOCOL_PACKAGES:
         directory = package_root / package
         if not directory.is_dir():
@@ -69,6 +77,11 @@ def collect_findings(package_root: pathlib.Path) -> List[Finding]:
             relative = f"{prefix}/{path.relative_to(package_root)}"
             source = path.read_text()
             findings.extend(run_determinism_pass(source, relative))
+            if path in worker_paths:
+                # Checked below in the stricter all-functions mode; the
+                # default-mode pass would report its (live) exemptions
+                # as dead entries.
+                continue
             findings.extend(run_purity_pass(source, relative))
     for module in WORKER_MODULES:
         path = package_root / module

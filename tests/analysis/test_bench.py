@@ -1,0 +1,104 @@
+"""The bench harness: suite registry and the --compare regression gate."""
+
+import copy
+
+from repro.analysis.bench import SUITES, bench_fullinfo_deep, compare_reports
+
+
+def _report(**overrides):
+    base = {
+        "schema_version": 1,
+        "quick": True,
+        "workers": 2,
+        "suites": [
+            {
+                "name": "fullinfo-deep",
+                "wall_time_s": 1.0,
+                "executions": 4,
+                "total_bits": 1000,
+                "max_rounds": 10,
+                "violations": 0,
+                "errors": 0,
+            },
+            {
+                "name": "avalanche",
+                "wall_time_s": 0.02,
+                "executions": 24,
+                "total_bits": 500,
+                "max_rounds": 8,
+                "violations": 0,
+                "errors": 0,
+            },
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        report = _report()
+        assert compare_reports(report, copy.deepcopy(report)) == []
+
+    def test_wall_time_regression_is_flagged(self):
+        current = _report()
+        current["suites"][0]["wall_time_s"] = 1.5
+        problems = compare_reports(current, _report())
+        assert len(problems) == 1
+        assert "fullinfo-deep" in problems[0]
+        assert "wall time" in problems[0]
+
+    def test_wall_time_within_threshold_passes(self):
+        current = _report()
+        current["suites"][0]["wall_time_s"] = 1.2
+        assert compare_reports(current, _report()) == []
+
+    def test_tiny_absolute_regressions_are_noise(self):
+        # 3x relative blowup but only 40ms absolute: under the floor,
+        # so a sub-100ms suite cannot flake the gate on timer jitter.
+        current = _report()
+        current["suites"][1]["wall_time_s"] = 0.06
+        assert compare_reports(current, _report()) == []
+
+    def test_deterministic_drift_is_flagged(self):
+        current = _report()
+        current["suites"][0]["total_bits"] = 1001
+        problems = compare_reports(current, _report())
+        assert len(problems) == 1
+        assert "total_bits" in problems[0]
+        assert "deterministic" in problems[0]
+
+    def test_config_mismatch_is_flagged(self):
+        problems = compare_reports(_report(quick=False), _report())
+        assert any("quick" in problem for problem in problems)
+        problems = compare_reports(_report(workers=4), _report())
+        assert any("workers" in problem for problem in problems)
+
+    def test_new_suite_has_no_baseline_to_regress(self):
+        baseline = _report()
+        baseline["suites"] = baseline["suites"][:1]
+        current = _report()
+        current["suites"][1]["wall_time_s"] = 99.0
+        assert compare_reports(current, baseline) == []
+
+
+class TestDeepSuite:
+    def test_registered_after_crossover(self):
+        names = list(SUITES)
+        assert "fullinfo-deep" in names
+        assert names.index("fullinfo-deep") > names.index(
+            "fullinfo-crossover"
+        )
+
+    def test_quick_run_reaches_exponential_scale(self):
+        result = bench_fullinfo_deep(quick=True, workers=1)
+        assert result.name == "fullinfo-deep"
+        assert result.violations == 0 and result.errors == 0
+        details = result.details
+        # The point of the suite: each final state stands for a tree
+        # far past what per-round O(n ** r) walks could traverse in
+        # the recorded wall time.
+        assert details["leaves_per_state"] == (
+            details["n"] ** details["rounds_per_execution"]
+        )
+        assert details["leaves_per_state"] >= 4 ** 10

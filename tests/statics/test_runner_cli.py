@@ -43,6 +43,15 @@ class TestRealTree:
             json.loads(BASELINE.read_text())["suppressions"]
         )
 
+    def test_arrays_kernel_is_registered(self):
+        from repro.statics.runner import PROTOCOL_PACKAGES, WORKER_MODULES
+
+        assert "arrays" in PROTOCOL_PACKAGES
+        # The store's module-level registry functions carry exemptions
+        # that only the all-functions worker pass can see, so the file
+        # must be listed there (and skipped by the default purity pass).
+        assert "arrays/store.py" in WORKER_MODULES
+
 
 class TestFixtureTree:
     def test_exits_nonzero(self, capsys):

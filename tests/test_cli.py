@@ -139,3 +139,57 @@ class TestBench:
         )
         assert code == 2
         assert "--workers" in out
+
+    def _quick_avalanche(self, capsys, output, *extra):
+        return run_cli(
+            capsys, "bench", "--quick", "--workers", "1",
+            "--suite", "avalanche", "--output", str(output), *extra,
+        )
+
+    def test_compare_against_own_baseline_passes(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        code, _ = self._quick_avalanche(capsys, baseline)
+        assert code == 0
+        code, out = self._quick_avalanche(
+            capsys, tmp_path / "check.json", "--compare", str(baseline)
+        )
+        assert code == 0
+        assert "compare: no regressions" in out
+        assert "REGRESSION" not in out
+
+    def test_compare_flags_deterministic_drift(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        self._quick_avalanche(capsys, baseline)
+        doctored = json.loads(baseline.read_text())
+        doctored["suites"][0]["total_bits"] += 1
+        baseline.write_text(json.dumps(doctored))
+        code, out = self._quick_avalanche(
+            capsys, tmp_path / "check.json", "--compare", str(baseline)
+        )
+        assert code == 1
+        assert "REGRESSION" in out
+        assert "total_bits" in out
+
+    def test_compare_flags_config_mismatch(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        self._quick_avalanche(capsys, baseline)
+        doctored = json.loads(baseline.read_text())
+        doctored["workers"] = 2
+        baseline.write_text(json.dumps(doctored))
+        code, out = self._quick_avalanche(
+            capsys, tmp_path / "check.json", "--compare", str(baseline)
+        )
+        assert code == 1
+        assert "config mismatch" in out
+
+    def test_compare_missing_baseline_exits_2(self, capsys, tmp_path):
+        code, out = self._quick_avalanche(
+            capsys, tmp_path / "check.json",
+            "--compare", str(tmp_path / "no-such-baseline.json"),
+        )
+        assert code == 2
+        assert "baseline" in out
