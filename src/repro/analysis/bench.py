@@ -49,6 +49,11 @@ class SuiteResult:
     violations: int
     errors: int
     details: Dict[str, Any]
+    #: Span rollup for this suite (``path -> {count, total_s, max_s}``),
+    #: present when the bench ran under an observer.  Additive to
+    #: schema v1: absent from reports produced without profiling, and
+    #: never part of the deterministic compare gate (it is wall time).
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def executions_per_sec(self) -> float:
@@ -57,7 +62,7 @@ class SuiteResult:
         return self.executions / self.wall_time_s
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "name": self.name,
             "wall_time_s": round(self.wall_time_s, 6),
             "executions": self.executions,
@@ -68,6 +73,9 @@ class SuiteResult:
             "errors": self.errors,
             "details": self.details,
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile
+        return payload
 
 
 def _timed_sweep(
@@ -294,15 +302,39 @@ def run_bench(
     suites: Optional[Sequence[str]] = None,
     quick: bool = False,
     workers: int = DEFAULT_WORKERS,
+    events: Optional[pathlib.Path] = None,
+    profile: bool = True,
 ) -> Dict[str, Any]:
-    """Run the selected suites; returns the full JSON-ready report."""
+    """Run the selected suites; returns the full JSON-ready report.
+
+    With ``profile`` (the default) the bench runs under its own
+    observer: each suite's JSON gains a ``profile`` span rollup, and
+    ``events`` optionally streams the structured event log to a path.
+    ``profile=False`` runs with the null observer — the control used
+    when measuring instrumentation overhead (docs/observability.md).
+    """
     names = list(suites) if suites else list(SUITES)
     unknown = [name for name in names if name not in SUITES]
     if unknown:
         raise KeyError(
             f"unknown bench suite(s) {unknown}; known: {sorted(SUITES)}"
         )
-    results = [SUITES[name](quick, workers) for name in names]
+    results: List[SuiteResult] = []
+    if profile or events is not None:
+        from repro.obs.core import Observer, observing
+        from repro.obs.events import EventLog
+        from repro.obs.spans import profile_dict
+
+        sink = EventLog(events) if events is not None else None
+        with observing(Observer(events=sink)) as observer:
+            for name in names:
+                mark = observer.profile_snapshot()
+                with observer.span(f"bench.{name}"):
+                    result = SUITES[name](quick, workers)
+                result.profile = profile_dict(observer.profile_since(mark))
+                results.append(result)
+    else:
+        results = [SUITES[name](quick, workers) for name in names]
     total_time = sum(result.wall_time_s for result in results)
     total_executions = sum(result.executions for result in results)
     return {
@@ -384,6 +416,50 @@ def compare_reports(
                     "regenerate the baseline if the change is intended)"
                 )
     return problems
+
+
+def _merged_profile(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Sum every suite's span rollup into one report-wide profile."""
+    total: Dict[str, Dict[str, Any]] = {}
+    for suite in report.get("suites", []):
+        for path, stats in (suite.get("profile") or {}).items():
+            merged = total.setdefault(
+                path, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            merged["count"] += stats["count"]
+            merged["total_s"] = round(merged["total_s"] + stats["total_s"], 6)
+            merged["max_s"] = max(merged["max_s"], stats["max_s"])
+    return total
+
+
+def profile_regressions(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    limit: int = 3,
+) -> List[str]:
+    """Top span slowdowns between two bench reports, as display lines.
+
+    Informational only — span totals are wall time, so this never
+    joins the :func:`compare_reports` pass/fail gate.  Empty when
+    either report carries no profile sections.
+    """
+    from repro.obs.summarize import top_regressions
+
+    current_profile = _merged_profile(current)
+    baseline_profile = _merged_profile(baseline)
+    if not current_profile or not baseline_profile:
+        return []
+    return [
+        (
+            f"{entry['span']}: {entry['baseline_s']:.3f}s -> "
+            f"{entry['current_s']:.3f}s (+{entry['delta_s']:.3f}s"
+            + (f", x{entry['ratio']:.2f}" if entry["ratio"] else "")
+            + ")"
+        )
+        for entry in top_regressions(
+            current_profile, baseline_profile, limit=limit
+        )
+    ]
 
 
 def default_output_path(

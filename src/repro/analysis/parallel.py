@@ -42,6 +42,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import multiprocessing
+import os
 import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -57,7 +58,9 @@ from typing import (
     Tuple,
 )
 
+import repro.obs.core as _obs
 from repro.analysis.sweeps import AdversaryMaker, SweepOutcome
+from repro.obs.spans import now as _now
 from repro.core.predicates import CorrectnessPredicate
 from repro.runtime.engine import ExecutionResult, ProcessFactory, run_protocol
 from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value, is_bottom
@@ -74,6 +77,11 @@ PURITY_EXEMPT = {
         "fork-started workers inherit closures (factories, predicates) "
         "that pickling cannot transport; the global is cleared in a "
         "finally block and never read by in-process sweep code"
+    ),
+    "_run_cell_chunk": (
+        "calls os.getpid() to label its worker's timing sample — the "
+        "pid never reaches an outcome, only the observer's explicitly "
+        "nondeterministic worker-utilization section"
     ),
 }
 
@@ -253,19 +261,33 @@ def run_cell(
     strips the result for process-boundary transport; the ``workers=1``
     reference path strips too, keeping reports comparable bit-for-bit.
     """
+    observer = _obs.ACTIVE
+    if observer is not None and observer.events_on:
+        observer.emit(
+            "cell_start",
+            index=cell.index,
+            adversary=cell.adversary_name,
+            seed=cell.seed,
+            faulty=list(cell.faulty),
+        )
     _name, maker = context.adversary_makers[cell.adversary_index]
-    result = run_protocol(
-        context.factory,
-        context.config,
-        cell.inputs,
-        adversary=maker(list(cell.faulty)),
-        max_rounds=context.max_rounds,
-        run_full_rounds=context.run_full_rounds,
-        sizer=context.sizer,
-        is_null=context.is_null,
-        seed=cell.seed,
-    )
+    with _obs.span("sweep.cell"):
+        result = run_protocol(
+            context.factory,
+            context.config,
+            cell.inputs,
+            adversary=maker(list(cell.faulty)),
+            max_rounds=context.max_rounds,
+            run_full_rounds=context.run_full_rounds,
+            sizer=context.sizer,
+            is_null=context.is_null,
+            seed=cell.seed,
+        )
     holds, error = evaluate_predicate(context.predicate, result, context.config)
+    if observer is not None:
+        observer.count("sweep.cells")
+        if observer.events_on:
+            observer.emit("cell_end", index=cell.index, holds=holds)
     if portable:
         result = portable_result(result)
     return SweepOutcome(
@@ -284,20 +306,54 @@ def run_cell(
 #: its ``finally``; workers read it through :func:`_run_cell_chunk`.
 _WORKER_CONTEXT: Optional[SweepContext] = None
 
+#: Fork-inherited flag: was the parent counting when the pool forked?
+#: Workers cannot read ``_obs.ACTIVE`` for this — the first chunk a
+#: worker runs clears it, and pool processes are reused across chunks.
+_WORKER_OBSERVED = False
 
-def _run_cell_chunk(cells: List[SweepCell]) -> List[SweepOutcome]:
+
+def _run_cell_chunk(
+    cells: List[SweepCell],
+) -> Tuple[List[SweepOutcome], int, float, Dict[str, int]]:
     """Worker entry point: run a chunk of cells against the inherited
-    context.
+    context; returns ``(outcomes, worker_pid, busy_seconds, counters)``.
 
     Must stay module-level — the pool transports it by qualified name.
+    A fork-started worker inherits the parent's active observer; it is
+    dropped first thing so workers never record events into a sink
+    they do not own.  When the parent *was* observing, the chunk runs
+    under a local counters-only observer instead and ships the
+    scheduling-independent counters home (pure per-cell sums like
+    ``net.bits`` or ``sweep.cells``; cache ``.hit``/``.miss`` splits
+    depend on which chunks shared a worker process, so they stay
+    worker-local).  The parent aggregates worker utilization from the
+    returned pid/duration.
     """
+    observed = _WORKER_OBSERVED
+    _obs.deactivate()
     context = _WORKER_CONTEXT
     if context is None:
         raise RuntimeError(
             "sweep worker started without an inherited context (pool was "
             "not fork-started?)"
         )
-    return [run_cell(context, cell) for cell in cells]
+    started = _now()
+    counters: Dict[str, int] = {}
+    if observed:
+        chunk_observer = _obs.Observer(spans=False)
+        _obs.activate(chunk_observer)
+        try:
+            outcomes = [run_cell(context, cell) for cell in cells]
+        finally:
+            _obs.deactivate()
+        counters = {
+            name: value
+            for name, value in chunk_observer.registry.counters().items()
+            if not name.endswith((".hit", ".miss"))
+        }
+    else:
+        outcomes = [run_cell(context, cell) for cell in cells]
+    return outcomes, os.getpid(), _now() - started, counters
 
 
 def _chunked(cells: List[SweepCell], workers: int) -> List[List[SweepCell]]:
@@ -347,7 +403,8 @@ def execute_cells(
     """
     cells = list(cells)
     if workers <= 1 or len(cells) < 2:
-        return _run_serial(context, cells)
+        with _obs.span("sweep.execute"):
+            return _run_serial(context, cells)
     try:
         mp_context = multiprocessing.get_context("fork")
     except ValueError:
@@ -356,29 +413,98 @@ def execute_cells(
             RuntimeWarning,
             stacklevel=2,
         )
-        return _run_serial(context, cells)
+        with _obs.span("sweep.execute"):
+            return _run_serial(context, cells)
 
-    global _WORKER_CONTEXT
+    global _WORKER_CONTEXT, _WORKER_OBSERVED
+    observer = _obs.ACTIVE
     _WORKER_CONTEXT = context
+    _WORKER_OBSERVED = observer is not None and observer.counters_on
     try:
         chunks = _chunked(cells, workers)
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)), mp_context=mp_context
+        worker_count = min(workers, len(chunks))
+        busy_by_pid: Dict[int, float] = {}
+        cells_by_pid: Dict[int, int] = {}
+        pool_started = _now()
+        with _obs.span("sweep.execute"), ProcessPoolExecutor(
+            max_workers=worker_count, mp_context=mp_context
         ) as pool:
             # Submission order == collection order: completion order can
             # never leak into the report.
             futures = [pool.submit(_run_cell_chunk, chunk) for chunk in chunks]
-            return [
-                _canonical(outcome)
-                for future in futures
-                for outcome in future.result()
-            ]
+            outcomes: List[SweepOutcome] = []
+            for chunk_index, future in enumerate(futures):
+                (
+                    chunk_outcomes, worker_pid, busy_s, worker_counters,
+                ) = future.result()
+                if observer is not None:
+                    if observer.counters_on:
+                        observer.registry.absorb(worker_counters)
+                    observer.count("pool.chunks")
+                    if observer.events_on:
+                        observer.emit(
+                            "chunk",
+                            index=chunk_index,
+                            cells=len(chunk_outcomes),
+                        )
+                    busy_by_pid[worker_pid] = (
+                        busy_by_pid.get(worker_pid, 0.0) + busy_s
+                    )
+                    cells_by_pid[worker_pid] = (
+                        cells_by_pid.get(worker_pid, 0) + len(chunk_outcomes)
+                    )
+                outcomes.extend(
+                    _canonical(outcome) for outcome in chunk_outcomes
+                )
+        if observer is not None:
+            _record_pool_stats(
+                observer, worker_count, _now() - pool_started,
+                busy_by_pid, cells_by_pid,
+            )
+        return outcomes
     except (BrokenProcessPool, OSError, pickle.PicklingError) as error:
         warnings.warn(
             f"parallel sweep degraded to serial execution: {error}",
             RuntimeWarning,
             stacklevel=2,
         )
-        return _run_serial(context, cells)
+        with _obs.span("sweep.execute"):
+            return _run_serial(context, cells)
     finally:
         _WORKER_CONTEXT = None
+        _WORKER_OBSERVED = False
+
+
+def _record_pool_stats(
+    observer: "_obs.Observer",
+    worker_count: int,
+    wall_s: float,
+    busy_by_pid: Dict[int, float],
+    cells_by_pid: Dict[int, int],
+) -> None:
+    """Fold one pool run's worker utilization into the observer.
+
+    Everything here derives from the wall clock and worker scheduling,
+    so it lands in gauges and the ``workers`` event — the log's
+    explicitly nondeterministic section.  Workers are reported as
+    slots (ordered by pid) rather than by pid, keeping the *shape*
+    stable across runs.
+    """
+    idle_s = max(0.0, worker_count * wall_s - sum(busy_by_pid.values()))
+    observer.gauge("pool.workers", worker_count)
+    observer.gauge("pool.wall_s", round(wall_s, 6))
+    observer.gauge("pool.idle_s", round(idle_s, 6))
+    workers_payload = []
+    for slot, worker_pid in enumerate(sorted(cells_by_pid)):
+        cells_run = cells_by_pid[worker_pid]
+        busy = round(busy_by_pid.get(worker_pid, 0.0), 6)
+        observer.gauge(f"pool.worker.{slot}.cells", cells_run)
+        observer.gauge(f"pool.worker.{slot}.busy_s", busy)
+        workers_payload.append({"cells": cells_run, "busy_s": busy})
+    if observer.events_on:
+        observer.emit_nondet(
+            "workers",
+            workers=workers_payload,
+            wall_s=round(wall_s, 6),
+            idle_s=round(idle_s, 6),
+        )

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+import repro.obs.core as _obs
 from repro.errors import ProtocolViolation
 from repro.types import is_bottom
 
@@ -177,6 +178,9 @@ class ArrayStore:
         ids cannot be recycled mid-call.
         """
         if type(node) is InternedArray and node.store is self:
+            observer = _obs.ACTIVE
+            if observer is not None:
+                observer.count("arrays.intern.hit")
             return node
         memoed = seen.get(id(node))
         if memoed is not None:
@@ -217,6 +221,9 @@ class ArrayStore:
             ) from None
         if existing is not None:
             seen[id(node)] = existing
+            observer = _obs.ACTIVE
+            if observer is not None:
+                observer.count("arrays.intern.hit")
             return existing
 
         canonical_node = self._build(key, tuple(children), child_depths[0])
@@ -259,6 +266,9 @@ class ArrayStore:
         node.store = self
         node._hash = tuple.__hash__(node)
         self._nodes[key] = node
+        observer = _obs.ACTIVE
+        if observer is not None:
+            observer.count("arrays.intern.miss")
         return node
 
 

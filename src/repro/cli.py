@@ -11,6 +11,9 @@ Gives a downstream user the paper's artifacts without writing code:
 * ``avalanche`` — a standalone avalanche agreement demo,
 * ``bench``     — the perf-trajectory suite of
   :mod:`repro.analysis.bench`; writes ``BENCH_<date>.json``,
+* ``events``    — summarize / profile / validate a structured event
+  log recorded via ``run-ba --events`` or ``bench --events``
+  (see :mod:`repro.obs` and docs/observability.md),
 * ``lint``      — the protocol-aware static analysis of
   :mod:`repro.statics` (determinism, purity and catalog contracts).
 """
@@ -19,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.adversary import (
     CollusionAdversary,
@@ -80,6 +83,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--authenticated",
         action="store_true",
         help="use the signed, zero-overhead variant (t + 1 rounds)",
+    )
+    run_ba.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="record the structured event log to PATH (JSONL, schema in "
+        "docs/observability.md) plus the execution trace to "
+        "PATH.trace.jsonl",
+    )
+    run_ba.add_argument(
+        "--include-adversary-traffic",
+        action="store_true",
+        help="also meter faulty processors' traffic (diagnostics; the "
+        "paper's bounds meter correct traffic only)",
     )
 
     compare = commands.add_parser(
@@ -143,8 +160,35 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="BASELINE",
         help="baseline BENCH_*.json to gate against; exits non-zero on "
         "a >25%% per-suite wall-time regression or any drift in the "
-        "deterministic counters (executions, bits, rounds)",
+        "deterministic counters (executions, bits, rounds); when both "
+        "reports carry span profiles the top regressions are listed "
+        "(informational, never gating)",
     )
+    bench.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="record the suite's structured event log to PATH (JSONL)",
+    )
+
+    events = commands.add_parser(
+        "events",
+        help="query a recorded event log (see docs/observability.md)",
+    )
+    events_sub = events.add_subparsers(dest="events_command", required=True)
+    for name, description in (
+        ("summarize", "per-round traffic, cache hit rates, counters"),
+        ("profile", "span rollup and worker utilization"),
+        ("validate", "check every record against event schema v1"),
+    ):
+        sub = events_sub.add_parser(name, help=description)
+        sub.add_argument("path", help="event log (JSONL) to read")
+        sub.add_argument(
+            "--format",
+            choices=("text", "json"),
+            default="text",
+            help="report format",
+        )
 
     lint = commands.add_parser(
         "lint",
@@ -187,47 +231,67 @@ def _command_table1(args) -> str:
 
 
 def _command_run_ba(args) -> str:
+    import contextlib
+    import pathlib
+
     n = args.n if args.n is not None else 3 * args.t + 1
     config = SystemConfig(n=n, t=args.t)
     inputs = {p: p % 2 for p in config.process_ids}
     faulty = list(range(1, args.t + 1))
     adversary = ADVERSARY_CHOICES[args.adversary](faulty)
-    if getattr(args, "authenticated", False):
-        from repro.compact.authenticated_variant import (
-            auth_compact_ba_factory,
-            auth_sizer,
-        )
-        from repro.runtime.crypto import SignatureOracle
+    meter_adversary = getattr(args, "include_adversary_traffic", False)
+    events_path = getattr(args, "events", None)
+    record = events_path is not None
 
-        result = run_protocol(
-            auth_compact_ba_factory(
-                config, [0, 1], SignatureOracle(), k=args.k or 1
-            ),
-            config,
-            inputs,
-            adversary=adversary,
-            max_rounds=config.t + 2,
-            sizer=auth_sizer(config, 2),
-            seed=args.seed,
-        )
-        variant = "authenticated (zero overhead)"
+    scope: Any
+    if record:
+        from repro.obs.core import Observer, observing
+        from repro.obs.events import EventLog
+
+        scope = observing(Observer(events=EventLog(events_path)))
     else:
-        kwargs = {}
-        if args.k is None and args.epsilon is None:
-            kwargs["epsilon"] = 1.0
-        elif args.k is not None:
-            kwargs["k"] = args.k
+        scope = contextlib.nullcontext()
+    with scope:
+        if getattr(args, "authenticated", False):
+            from repro.compact.authenticated_variant import (
+                auth_compact_ba_factory,
+                auth_sizer,
+            )
+            from repro.runtime.crypto import SignatureOracle
+
+            result = run_protocol(
+                auth_compact_ba_factory(
+                    config, [0, 1], SignatureOracle(), k=args.k or 1
+                ),
+                config,
+                inputs,
+                adversary=adversary,
+                max_rounds=config.t + 2,
+                sizer=auth_sizer(config, 2),
+                seed=args.seed,
+                record_trace=record,
+                meter_adversary=meter_adversary,
+            )
+            variant = "authenticated (zero overhead)"
         else:
-            kwargs["epsilon"] = args.epsilon
-        result = run_compact_byzantine_agreement(
-            config,
-            inputs,
-            value_alphabet=[0, 1],
-            adversary=adversary,
-            seed=args.seed,
-            **kwargs,
-        )
-        variant = "compact (Corollary 10)"
+            kwargs = {}
+            if args.k is None and args.epsilon is None:
+                kwargs["epsilon"] = 1.0
+            elif args.k is not None:
+                kwargs["k"] = args.k
+            else:
+                kwargs["epsilon"] = args.epsilon
+            result = run_compact_byzantine_agreement(
+                config,
+                inputs,
+                value_alphabet=[0, 1],
+                adversary=adversary,
+                seed=args.seed,
+                record_trace=record,
+                meter_adversary=meter_adversary,
+                **kwargs,
+            )
+            variant = "compact (Corollary 10)"
     lines = [
         f"n = {n}, t = {args.t}, variant = {variant}, "
         f"adversary = {args.adversary} (faulty = {faulty})",
@@ -235,6 +299,17 @@ def _command_run_ba(args) -> str:
         f"rounds: {result.rounds}",
         f"message bits: {result.metrics.total_bits}",
     ]
+    if meter_adversary:
+        lines.append("(metering includes adversary traffic)")
+    if record:
+        lines.append(f"events: wrote {events_path}")
+        trace_path = pathlib.Path(str(events_path) + ".trace.jsonl")
+        try:
+            assert result.trace is not None
+            result.trace.to_jsonl(trace_path)
+            lines.append(f"trace: wrote {trace_path}")
+        except TypeError as error:
+            lines.append(f"trace: not serializable ({error})")
     return "\n".join(lines)
 
 
@@ -297,6 +372,7 @@ def _command_bench(args):
     from repro.analysis.bench import (
         compare_reports,
         default_output_path,
+        profile_regressions,
         render_report,
         run_bench,
         write_report,
@@ -317,7 +393,12 @@ def _command_bench(args):
         baseline = json.loads(baseline_path.read_text())
     try:
         report = run_bench(
-            suites=args.suite, quick=args.quick, workers=workers
+            suites=args.suite,
+            quick=args.quick,
+            workers=workers,
+            events=(
+                pathlib.Path(args.events) if args.events is not None else None
+            ),
         )
     except KeyError as error:
         return f"error: {error.args[0]}", 2
@@ -328,13 +409,63 @@ def _command_bench(args):
     )
     write_report(report, path)
     output = f"{render_report(report)}\n\nwrote {path}"
+    if args.events is not None:
+        output += f"\nevents: wrote {args.events}"
     if baseline is not None:
         problems = compare_reports(report, baseline)
+        span_lines = profile_regressions(report, baseline)
+        if span_lines:
+            output += (
+                "\n\nslowest span regressions (informational, wall "
+                "time):\n" + "\n".join(f"  {line}" for line in span_lines)
+            )
         if problems:
             verdict = "\n".join(f"REGRESSION: {line}" for line in problems)
             return f"{output}\n\n{verdict}", 1
         output += f"\n\ncompare: no regressions against {args.compare}"
     return output
+
+
+def _command_events(args):
+    import json
+
+    from repro.obs.events import read_jsonl, validate_records
+    from repro.obs.summarize import (
+        profile_records,
+        render_profile,
+        render_summary,
+        summarize_records,
+    )
+
+    try:
+        records = read_jsonl(args.path)
+    except (OSError, ValueError) as error:
+        return f"error: {error}", 2
+
+    if args.events_command == "validate":
+        problems = validate_records(records)
+        if args.format == "json":
+            payload = {
+                "records": len(records),
+                "valid": not problems,
+                "problems": problems,
+            }
+            return json.dumps(payload, indent=2), (1 if problems else 0)
+        if problems:
+            body = "\n".join(problems)
+            return f"{body}\ninvalid: {len(problems)} problem(s)", 1
+        return f"OK: {len(records)} record(s) conform to event schema v1"
+
+    if args.events_command == "summarize":
+        summary = summarize_records(records)
+        if args.format == "json":
+            return json.dumps(summary, indent=2)
+        return render_summary(summary)
+
+    profile = profile_records(records)
+    if args.format == "json":
+        return json.dumps(profile, indent=2)
+    return render_profile(profile)
 
 
 def _command_lint(args):
@@ -402,6 +533,7 @@ _HANDLERS = {
     "crossover": _command_crossover,
     "avalanche": _command_avalanche,
     "bench": _command_bench,
+    "events": _command_events,
     "lint": _command_lint,
 }
 

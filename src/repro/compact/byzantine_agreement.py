@@ -90,6 +90,7 @@ def run_compact_byzantine_agreement(
     seed: int = 0,
     record_trace: bool = False,
     expose_full_state: bool = False,
+    meter_adversary: bool = False,
 ) -> ExecutionResult:
     """Run one execution of the Corollary 10 protocol, fully metered."""
     if default is None:
@@ -114,4 +115,5 @@ def run_compact_byzantine_agreement(
         is_null=payload_is_null,
         seed=seed,
         record_trace=record_trace,
+        meter_adversary=meter_adversary,
     )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+import repro.obs.core as _obs
 from repro.arrays.partial import substitutive_apply
 from repro.arrays.store import ArrayStore, InternedArray
 from repro.errors import ProtocolViolation
@@ -146,6 +147,9 @@ class ExpansionState:
         key = (boundary, node.key_token)
         cached = self._node_cache.get(key)
         if cached is not None:
+            observer = _obs.ACTIVE
+            if observer is not None:
+                observer.count("compact.expansion.hit")
             return cached
         if boundary == 1:
             # phi_1 is the identity on value arrays; the node IS its
@@ -169,6 +173,9 @@ class ExpansionState:
             result = self._store.intern(tuple(expanded))
         if not is_bottom(result):
             self._node_cache[key] = result
+            observer = _obs.ACTIVE
+            if observer is not None:
+                observer.count("compact.expansion.miss")
         return result
 
     def defined(self, boundary: int, array: Any) -> bool:

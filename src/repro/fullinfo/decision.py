@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
 
+import repro.obs.core as _obs
 from repro.arrays.store import InternedArray
 from repro.arrays.value_array import array_depth, unique_leaves
 from repro.core.automaton import AutomatonProtocol
@@ -65,6 +66,9 @@ def reconstruct_state(
     try:
         key = (process_id, state)
         if key in _memo:
+            observer = _obs.ACTIVE
+            if observer is not None:
+                observer.count("fullinfo.reconstruct.hit")
             return _memo[key]
     except TypeError:  # unhashable leaf smuggled in; skip memoisation
         key = None  # type: ignore[assignment]
@@ -79,6 +83,9 @@ def reconstruct_state(
     result = protocol.transition(process_id, messages)
     if key is not None:
         _memo[key] = result
+        observer = _obs.ACTIVE
+        if observer is not None:
+            observer.count("fullinfo.reconstruct.miss")
     return result
 
 
@@ -134,6 +141,20 @@ def eig_byzantine_decision(
         When given, leaves outside it are replaced by ``default``
         before resolution (defence against garbage leaves).
     """
+    with _obs.span("eig.decision"):
+        return _resolve_eig_decision(
+            state, n, t, process_id, default, alphabet
+        )
+
+
+def _resolve_eig_decision(
+    state: Any,
+    n: int,
+    t: int,
+    process_id: ProcessId,
+    default: Value,
+    alphabet: Optional[Sequence[Value]],
+) -> Value:
     depth = array_depth(state, n)
     if depth != t + 1:
         raise ProtocolViolation(

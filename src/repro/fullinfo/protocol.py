@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
+import repro.obs.core as _obs
 from repro.arrays.encoding import MessageSizer
 from repro.arrays.store import ArrayStore, InternedArray, shared_store
 from repro.arrays.value_array import validate_array
@@ -140,11 +141,16 @@ class FullInformationProcess(Process):
         if node.depth != expected_depth:
             return _REJECT
         verdict = self._leaf_verdicts.get(node.key_token)
+        observer = _obs.ACTIVE
         if verdict is None:
             verdict = all(
                 self._leaf_ok(leaf) for _, leaf in node.leaves_unique
             )
             self._leaf_verdicts[node.key_token] = verdict
+            if observer is not None:
+                observer.count("fullinfo.legality.miss")
+        elif observer is not None:
+            observer.count("fullinfo.legality.hit")
         return node if verdict else _REJECT
 
     def _is_legal_message(self, message: Any, expected_depth: int) -> bool:

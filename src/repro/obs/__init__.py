@@ -1,0 +1,54 @@
+"""repro.obs — run-scoped observability: events, spans, instruments.
+
+Three pillars, one activation point:
+
+* a **structured event log** (:mod:`repro.obs.events`) — append-only
+  JSONL stamped with a logical clock, deterministic and diffable;
+* **hierarchical timing spans** (:mod:`repro.obs.spans`) — perf_counter
+  aggregates per span path, explicitly nondeterministic;
+* an **instrumentation registry** (:mod:`repro.obs.registry`) —
+  counters and gauges absorbing the runtime's bit meters and every
+  kernel cache's hit/miss split.
+
+The default is the **null observer**: until :func:`~repro.obs.core
+.activate` (or the :func:`~repro.obs.core.observing` context manager)
+installs an :class:`~repro.obs.core.Observer`, every instrumented
+path reduces to one ``is None`` check and produces byte-identical
+results to uninstrumented code.  See ``docs/observability.md``.
+"""
+
+from repro.obs.core import (
+    Observer,
+    activate,
+    active,
+    deactivate,
+    observing,
+    span,
+)
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    EventLog,
+    read_jsonl,
+    validate_jsonl,
+    validate_records,
+)
+from repro.obs.registry import InstrumentRegistry
+from repro.obs.spans import NULL_SPAN, SpanProfile, profile_dict
+
+__all__ = [
+    "NULL_SPAN",
+    "SCHEMA_VERSION",
+    "EventLog",
+    "InstrumentRegistry",
+    "Observer",
+    "SpanProfile",
+    "activate",
+    "active",
+    "deactivate",
+    "observing",
+    "profile_dict",
+    "read_jsonl",
+    "span",
+    "validate_jsonl",
+    "validate_records",
+]

@@ -1,0 +1,146 @@
+"""Tagged-JSON codec for protocol values: full-fidelity round-trips.
+
+The event log (:mod:`repro.obs.events`) renders arbitrary values as
+text because events only need to be diffable.  Trace persistence
+(:meth:`~repro.runtime.trace.ExecutionTrace.to_jsonl`) needs more: a
+reloaded trace must compare equal to the recorded one so the
+simulation checker can re-verify it offline.  This codec provides
+that round-trip for every value the protocols put on the wire or into
+a snapshot:
+
+==============================  =======================================
+value                           encoding
+==============================  =======================================
+``None`` / bool / int / str     as-is (JSON scalars)
+float                           ``{"f": repr}`` (repr round-trips)
+tuple (incl. InternedArray)     ``{"t": [items...]}``
+list                            ``{"l": [items...]}``
+dict                            ``{"d": [[k, v], ...]}``
+frozenset / set                 ``{"fs"|"s": [items...]}`` (sorted)
+BOTTOM                          ``{"$": "bottom"}``
+NULL_MESSAGE                    ``{"$": "null-message"}``
+CRASHED                         ``{"$": "crashed"}``
+CompactPayload                  ``{"$": "compact-payload", ...}``
+==============================  =======================================
+
+Interned arrays decode as plain tuples — :class:`InternedArray`
+pickles the same way, and both the protocols and the trace queries
+compare structurally, so equality is preserved.  Set members are
+ordered by their encoded JSON form, making the output canonical.
+
+Singleton and payload types live in protocol packages that import
+widely; they are imported lazily here to keep :mod:`repro.obs` free
+of import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one protocol value as tagged JSON."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"f": repr(value)}
+    if isinstance(value, tuple):
+        return {"t": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return {"l": [encode_value(item) for item in value]}
+    if isinstance(value, dict):
+        return {
+            "d": [
+                [encode_value(key), encode_value(item)]
+                for key, item in value.items()
+            ]
+        }
+    if isinstance(value, (frozenset, set)):
+        members = sorted(
+            (encode_value(item) for item in value),
+            key=lambda encoded: json.dumps(encoded, sort_keys=True),
+        )
+        return {"fs" if isinstance(value, frozenset) else "s": members}
+    tag = _singleton_tag(value)
+    if tag is not None:
+        return {"$": tag}
+    from repro.compact.payload import CompactPayload
+
+    if isinstance(value, CompactPayload):
+        return {
+            "$": "compact-payload",
+            "main": encode_value(value.main),
+            "votes": encode_value(value.votes),
+        }
+    raise TypeError(
+        f"cannot encode {type(value).__name__} value {value!r} — "
+        "extend repro.obs.codec if the protocols grow a new wire type"
+    )
+
+
+def decode_value(encoded: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if encoded is None or isinstance(encoded, (bool, int, str)):
+        return encoded
+    if not isinstance(encoded, dict) or len(encoded) < 1:
+        raise ValueError(f"malformed encoded value: {encoded!r}")
+    if "f" in encoded:
+        return float(encoded["f"])
+    if "t" in encoded:
+        return tuple(decode_value(item) for item in encoded["t"])
+    if "l" in encoded:
+        return [decode_value(item) for item in encoded["l"]]
+    if "d" in encoded:
+        return {
+            decode_value(key): decode_value(item)
+            for key, item in encoded["d"]
+        }
+    if "fs" in encoded:
+        return frozenset(decode_value(item) for item in encoded["fs"])
+    if "s" in encoded:
+        return {decode_value(item) for item in encoded["s"]}
+    if "$" in encoded:
+        return _decode_tagged(encoded)
+    raise ValueError(f"malformed encoded value: {encoded!r}")
+
+
+def _singleton_tag(value: Any) -> Any:
+    from repro.avalanche.coding import NULL_MESSAGE
+    from repro.compact.crash_variant import CRASHED
+    from repro.types import BOTTOM
+
+    if value is BOTTOM:
+        return "bottom"
+    if value is NULL_MESSAGE:
+        return "null-message"
+    if value is CRASHED:
+        return "crashed"
+    return None
+
+
+def _decode_tagged(encoded: Dict[str, Any]) -> Any:
+    tag = encoded["$"]
+    if tag == "bottom":
+        from repro.types import BOTTOM
+
+        return BOTTOM
+    if tag == "null-message":
+        from repro.avalanche.coding import NULL_MESSAGE
+
+        return NULL_MESSAGE
+    if tag == "crashed":
+        from repro.compact.crash_variant import CRASHED
+
+        return CRASHED
+    if tag == "compact-payload":
+        from repro.compact.payload import CompactPayload
+
+        return CompactPayload(
+            main=decode_value(encoded["main"]),
+            votes=decode_value(encoded["votes"]),
+        )
+    raise ValueError(f"unknown value tag {tag!r}")
+
+
+__all__: List[str] = ["decode_value", "encode_value"]

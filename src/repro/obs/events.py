@@ -1,0 +1,243 @@
+"""The structured event log: schema v1, sinks, and validation.
+
+Every record is one JSON object per line (JSONL) with a common
+envelope::
+
+    {"v": 1, "kind": "...", "run": "r1" | null, "round": 3, "step": 17, ...}
+
+The clock is **logical**: ``run`` is the observer-scoped run id,
+``round`` the protocol round the observer was last told about, and
+``step`` a monotonically increasing per-log sequence number.  No
+deterministic record carries wall time, so two logs of the same
+workload in fresh processes are byte-identical and diffable.  Records
+that *do* derive from the wall clock (span profiles, worker timings)
+carry ``"nondeterministic": true`` and are excluded from that
+contract.
+
+The schema is deliberately closed: :func:`validate_record` rejects
+unknown kinds and missing or mistyped required fields, so CI can gate
+recorded artifacts (see the bench-smoke job) and downstream tooling
+can rely on the documented shape in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
+
+#: Bump on incompatible record-shape changes.
+SCHEMA_VERSION = 1
+
+#: Fields present on every record.  ``run`` may be null (events emitted
+#: outside any run — sweep chunks, checkpoints, the counters dump).
+ENVELOPE_FIELDS: Dict[str, Tuple[type, ...]] = {
+    "v": (int,),
+    "kind": (str,),
+    "round": (int,),
+    "step": (int,),
+}
+
+#: Required payload fields per event kind.  A value is a tuple of
+#: accepted types; ``type(None)`` marks a nullable field.
+EVENT_FIELDS: Dict[str, Dict[str, Tuple[type, ...]]] = {
+    # execution lifecycle
+    "run_start": {
+        "n": (int,),
+        "t": (int,),
+        "seed": (int,),
+        "adversary": (str,),
+        "faulty": (list,),
+    },
+    "run_end": {
+        "rounds": (int,),
+        "decided": (int,),
+        "messages": (int,),
+        "non_null": (int,),
+        "bits": (int,),
+    },
+    "round_start": {},
+    "round_end": {"messages": (int,), "non_null": (int,), "bits": (int,)},
+    # traffic
+    "send": {
+        "sender": (int,),
+        "receiver": (int,),
+        "bits": (int,),
+        "non_null": (bool,),
+    },
+    "corrupt": {"sender": (int,), "receiver": (int,), "summary": (str,)},
+    # state changes
+    "state": {"process": (int,), "summary": (str,)},
+    "decide": {
+        "process": (int,),
+        "value": (str, int, float, bool, type(None)),
+    },
+    # sweep-cell lifecycle
+    "cell_start": {
+        "index": (int,),
+        "adversary": (str,),
+        "seed": (int,),
+        "faulty": (list,),
+    },
+    "cell_end": {"index": (int,), "holds": (bool, type(None))},
+    "chunk": {"index": (int,), "cells": (int,)},
+    # persistence
+    "checkpoint_save": {"path": (str,)},
+    "checkpoint_load": {"path": (str,)},
+    # registry dump (deterministic counters only)
+    "counters": {"counters": (dict,)},
+    # nondeterministic section
+    "profile": {"spans": (dict,), "gauges": (dict,)},
+    "workers": {"workers": (list,), "wall_s": (float, int), "idle_s": (float, int)},
+}
+
+#: Kinds whose records must be flagged ``"nondeterministic": true`` —
+#: they embed wall-clock measurements.
+NONDETERMINISTIC_KINDS = frozenset({"profile", "workers"})
+
+
+def json_safe(value: Any) -> Any:
+    """``value`` if JSON-representable as a scalar, else its ``repr``.
+
+    Event payload fields must stay diffable text; arbitrary protocol
+    values (BOTTOM, tuples, payload objects) are rendered, never
+    serialized — the full-fidelity path is the trace codec
+    (:mod:`repro.obs.codec`), not the event log.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+class EventLog:
+    """An append-only JSONL sink, in memory or streamed to a path.
+
+    With a ``path`` the records stream straight to disk (one
+    ``json.dumps`` line per record, flushed on :meth:`close`) and are
+    not retained; without one they accumulate in :attr:`records` for
+    in-process inspection (tests, the summarizer).
+    """
+
+    def __init__(self, path: Optional[Union[str, pathlib.Path]] = None):
+        self.path = pathlib.Path(path) if path is not None else None
+        self.records: List[Dict[str, Any]] = []
+        self._handle: Optional[IO[str]] = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w")
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one record (already enveloped by the observer)."""
+        if self._handle is not None:
+            self._handle.write(
+                json.dumps(record, separators=(", ", ": "), sort_keys=False)
+                + "\n"
+            )
+        else:
+            self.records.append(record)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_jsonl(path: Union[str, pathlib.Path]) -> List[Dict[str, Any]]:
+    """Load every record of a JSONL event log."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON: {error}"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{line_number}: record is not a JSON object"
+                )
+            records.append(record)
+    return records
+
+
+def validate_record(record: Dict[str, Any]) -> List[str]:
+    """Schema-v1 problems with one record (empty list = valid)."""
+    problems: List[str] = []
+    for field, types in ENVELOPE_FIELDS.items():
+        value = record.get(field)
+        if not isinstance(value, types) or isinstance(value, bool):
+            problems.append(
+                f"envelope field {field!r} missing or not {types[0].__name__}"
+            )
+    if problems:
+        return problems
+    if record["v"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema version {record['v']} != {SCHEMA_VERSION}"
+        )
+    run = record.get("run")
+    if run is not None and not isinstance(run, str):
+        problems.append("envelope field 'run' must be a string or null")
+    kind = record["kind"]
+    fields = EVENT_FIELDS.get(kind)
+    if fields is None:
+        problems.append(f"unknown event kind {kind!r}")
+        return problems
+    for field, types in fields.items():
+        if field not in record:
+            problems.append(f"{kind}: missing field {field!r}")
+            continue
+        value = record[field]
+        if isinstance(value, bool) and bool not in types:
+            problems.append(f"{kind}: field {field!r} has wrong type bool")
+        elif not isinstance(value, types):
+            problems.append(
+                f"{kind}: field {field!r} has wrong type "
+                f"{type(value).__name__}"
+            )
+    if kind in NONDETERMINISTIC_KINDS:
+        if record.get("nondeterministic") is not True:
+            problems.append(
+                f"{kind}: wall-clock-derived record must carry "
+                "'nondeterministic': true"
+            )
+    elif record.get("nondeterministic"):
+        problems.append(
+            f"{kind}: deterministic kind wrongly flagged nondeterministic"
+        )
+    return problems
+
+
+def validate_records(records: Iterable[Dict[str, Any]]) -> List[str]:
+    """Problems across a record sequence, prefixed by record index.
+
+    Also enforces the log-level invariant that ``step`` strictly
+    increases — the logical clock never stalls or rewinds.
+    """
+    problems: List[str] = []
+    last_step = -1
+    for index, record in enumerate(records):
+        for problem in validate_record(record):
+            problems.append(f"record {index}: {problem}")
+        step = record.get("step")
+        if isinstance(step, int) and not isinstance(step, bool):
+            if step <= last_step:
+                problems.append(
+                    f"record {index}: step {step} does not advance the "
+                    f"logical clock (previous {last_step})"
+                )
+            last_step = step
+    return problems
+
+
+def validate_jsonl(path: Union[str, pathlib.Path]) -> List[str]:
+    """Validate a JSONL file end to end; returns all problems."""
+    try:
+        records = read_jsonl(path)
+    except (OSError, ValueError) as error:
+        return [str(error)]
+    return validate_records(records)

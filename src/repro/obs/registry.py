@@ -1,0 +1,96 @@
+"""The instrumentation registry: named counters and gauges.
+
+One flat namespace of dotted counter names absorbs every quantity the
+runtime already meters ad hoc — the :class:`~repro.runtime.metrics
+.RoundUsage` bit meters, the :class:`~repro.arrays.store.ArrayStore`
+intern hit/miss split, the full-information legality-verdict and
+reconstruction memo hit rates, the compact expansion cache, the
+network's payload size caches, and the parallel executor's per-worker
+cell counts.
+
+Counters are integers and deterministic for a fixed workload in a
+fresh process (cache hit/miss splits depend on what a *process* has
+already interned, so they are reproducible per run script, not per
+isolated call).  Gauges hold the explicitly nondeterministic
+quantities — wall-clock seconds of pool workers, idle time — and are
+reported only in the nondeterministic section of an event log (see
+``docs/observability.md``).
+
+Hit-rate convention: a cache named ``x`` exposes ``x.hit`` and
+``x.miss`` counters; :meth:`InstrumentRegistry.hit_rates` derives the
+rates for every such pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+#: Suffixes the hit-rate convention pairs up.
+_HIT, _MISS = ".hit", ".miss"
+
+
+class InstrumentRegistry:
+    """A process-local set of named counters and gauges."""
+
+    __slots__ = ("_counters", "_gauges")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+
+    # -- counters ----------------------------------------------------------
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Add ``delta`` to counter ``name`` (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + delta
+
+    def counter(self, name: str) -> int:
+        """Current value of one counter (zero if never touched)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        """All counters, in sorted-name order (a copy)."""
+        return {name: self._counters[name] for name in sorted(self._counters)}
+
+    # -- gauges ------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Current value of one gauge, or ``None`` if never set."""
+        return self._gauges.get(name)
+
+    def gauges(self) -> Dict[str, float]:
+        """All gauges, in sorted-name order (a copy)."""
+        return {name: self._gauges[name] for name in sorted(self._gauges)}
+
+    # -- derived -----------------------------------------------------------
+
+    def hit_rates(self) -> Dict[str, Tuple[float, int, int]]:
+        """``cache -> (rate, hits, misses)`` for every hit/miss pair.
+
+        A cache appears when either side of its pair exists; the rate
+        is ``hits / (hits + misses)`` and ``0.0`` for an untouched
+        pair.
+        """
+        caches: Dict[str, Tuple[float, int, int]] = {}
+        names = set()
+        for name in self._counters:
+            if name.endswith(_HIT):
+                names.add(name[: -len(_HIT)])
+            elif name.endswith(_MISS):
+                names.add(name[: -len(_MISS)])
+        for cache in sorted(names):
+            hits = self._counters.get(cache + _HIT, 0)
+            misses = self._counters.get(cache + _MISS, 0)
+            total = hits + misses
+            rate = hits / total if total else 0.0
+            caches[cache] = (rate, hits, misses)
+        return caches
+
+    def absorb(self, counters: Dict[str, int]) -> None:
+        """Fold a ``name -> delta`` mapping into the counters."""
+        for name, delta in counters.items():
+            self.count(name, delta)

@@ -21,6 +21,7 @@ import pathlib
 import pickle
 from typing import Union
 
+import repro.obs.core as _obs
 from repro.errors import ConfigurationError
 from repro.runtime.engine import ExecutionResult
 
@@ -36,6 +37,9 @@ def save_result(result: ExecutionResult, path: Pathish) -> None:
     payload = {"version": FORMAT_VERSION, "result": stripped}
     with open(path, "wb") as handle:
         pickle.dump(payload, handle)
+    observer = _obs.ACTIVE
+    if observer is not None:
+        observer.emit("checkpoint_save", path=str(path))
 
 
 def load_result(path: Pathish) -> ExecutionResult:
@@ -50,4 +54,7 @@ def load_result(path: Pathish) -> ExecutionResult:
         raise ConfigurationError(
             f"{path} is not a version-{FORMAT_VERSION} saved execution result"
         )
+    observer = _obs.ACTIVE
+    if observer is not None:
+        observer.emit("checkpoint_load", path=str(path))
     return payload["result"]

@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
+import repro.obs.core as _obs
 from repro.adversary.base import Adversary, PassiveAdversary
 from repro.errors import ConfigurationError
 from repro.runtime.metrics import MessageMetrics
@@ -91,6 +92,7 @@ def run_protocol(
     is_null: Optional[Callable[[Any], bool]] = None,
     record_trace: bool = False,
     seed: int = 0,
+    meter_adversary: bool = False,
 ) -> ExecutionResult:
     """Run one execution to completion.
 
@@ -124,6 +126,10 @@ def run_protocol(
         full-information protocols; test scale only).
     seed:
         Seeds the adversary's RNG substream.
+    meter_adversary:
+        Include faulty processors' traffic in the metrics — a
+        diagnostics view; the paper's bounds meter correct traffic
+        only (see :mod:`repro.runtime.metrics`).
     """
     adversary = adversary or PassiveAdversary()
     adversary.bind(config, derive_rng(seed, "adversary"))
@@ -147,21 +153,46 @@ def run_protocol(
         sizer=sizer,
         is_null=is_null,
         trace=trace,
+        meter_adversary=meter_adversary,
     )
+
+    observer = _obs.ACTIVE
+    if observer is not None:
+        observer.begin_run(
+            n=config.n,
+            t=config.t,
+            seed=seed,
+            adversary=type(adversary).__name__,
+            faulty=sorted(adversary.faulty_ids),
+        )
 
     stop = stop_condition or all_decided
     rounds_run = 0
-    while True:
-        if run_full_rounds is not None:
-            if rounds_run >= run_full_rounds:
+    with _obs.span("engine.run"):
+        while True:
+            if run_full_rounds is not None:
+                if rounds_run >= run_full_rounds:
+                    break
+            elif rounds_run > 0 and stop(processes, rounds_run):
                 break
-        elif rounds_run > 0 and stop(processes, rounds_run):
-            break
-        if rounds_run >= max_rounds:
-            raise ConfigurationError(
-                f"execution exceeded max_rounds={max_rounds} without stopping"
-            )
-        rounds_run = network.run_round()
+            if rounds_run >= max_rounds:
+                raise ConfigurationError(
+                    f"execution exceeded max_rounds={max_rounds} "
+                    "without stopping"
+                )
+            rounds_run = network.run_round()
+
+    if observer is not None:
+        metrics = network.metrics
+        observer.end_run(
+            rounds=rounds_run,
+            decided=sum(
+                1 for process in processes.values() if process.has_decided()
+            ),
+            messages=metrics.total_messages,
+            non_null=metrics.total_non_null_messages,
+            bits=metrics.total_bits,
+        )
 
     return ExecutionResult(
         config=config,

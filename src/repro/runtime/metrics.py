@@ -133,6 +133,19 @@ class MessageMetrics:
             for round_number, usage in self._per_round.items()
         )
 
+    def as_counters(self, prefix: str = "net") -> Dict[str, int]:
+        """The totals as instrumentation-registry counter deltas.
+
+        The bridge into :class:`repro.obs.registry.InstrumentRegistry`:
+        ``registry.absorb(metrics.as_counters())`` folds an execution's
+        meters into the dotted-counter namespace.
+        """
+        return {
+            f"{prefix}.messages": self.total_messages,
+            f"{prefix}.non_null_messages": self.total_non_null_messages,
+            f"{prefix}.bits": self.total_bits,
+        }
+
     def merge(self, other: "MessageMetrics") -> None:
         """Fold another meter's records into this one."""
         for round_number, usage in other._per_round.items():

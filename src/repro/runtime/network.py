@@ -27,8 +27,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Mapping, Optional
 
+import repro.obs.core as _obs
 from repro.adversary.base import Adversary, RoundContext
 from repro.arrays.store import InternedArray
+from repro.obs.core import Observer
+from repro.obs.events import json_safe
 from repro.runtime.message import Envelope
 from repro.runtime.metrics import MessageMetrics
 from repro.runtime.node import Process
@@ -116,8 +119,16 @@ class SynchronousNetwork:
 
     def run_round(self) -> Round:
         """Execute one full round; returns its (1-based) number."""
+        # Read the active observer once per round: the per-message work
+        # below only pays for instrumentation it can actually reach.
+        observer = _obs.ACTIVE
+        events = observer is not None and observer.events_on
         self.round_number += 1
         round_number = self.round_number
+        if observer is not None:
+            observer.set_round(round_number)
+            if events:
+                observer.emit("round_start")
 
         # 1. Correct processors send.
         correct_outgoing: Dict[ProcessId, Dict[ProcessId, Any]] = {}
@@ -145,26 +156,59 @@ class SynchronousNetwork:
         }
         for sender, per_receiver in correct_outgoing.items():
             self._deliver(round_number, sender, per_receiver,
-                          incoming_by_receiver, metered=True)
+                          incoming_by_receiver, metered=True,
+                          observer=observer, faulty=False)
         for sender, per_receiver in faulty_outgoing.items():
             self._deliver(round_number, sender, per_receiver,
-                          incoming_by_receiver, metered=self.meter_adversary)
+                          incoming_by_receiver, metered=self.meter_adversary,
+                          observer=observer, faulty=True)
 
         self.adversary.observe_round(round_number, context, faulty_outgoing)
 
-        if self.trace is None:
-            # Fast path: no snapshot bookkeeping at all.
+        if self.trace is None and not events:
+            # Fast path: no snapshot or event bookkeeping at all.
             for receiver, process in self.processes.items():
                 process.receive(round_number, incoming_by_receiver[receiver])
         else:
+            # Lazy: render imports the engine, which imports us.
+            from repro.runtime.render import summarise_payload
+
             for receiver, process in self.processes.items():
                 process.receive(round_number, incoming_by_receiver[receiver])
-                self.trace.record_snapshot(
-                    round_number, receiver, process.snapshot()
-                )
+                if self.trace is not None:
+                    self.trace.record_snapshot(
+                        round_number, receiver, process.snapshot()
+                    )
+                if events:
+                    assert observer is not None
+                    # Shape summary, never repr: full-information
+                    # snapshots are exponential and repr-ing them would
+                    # dominate an observed run.
+                    observer.emit(
+                        "state", process=receiver,
+                        summary=summarise_payload(
+                            process.snapshot(), limit=60
+                        ),
+                    )
+                    if process.decision_round == round_number:
+                        observer.emit(
+                            "decide", process=receiver,
+                            value=json_safe(process.decision),
+                        )
+        if events:
+            assert observer is not None
+            usage = self.metrics.round_usage(round_number)
+            observer.emit(
+                "round_end",
+                messages=usage.messages,
+                non_null=usage.non_null_messages,
+                bits=usage.bits,
+            )
         return round_number
 
-    def _measured_bits(self, payload: Any) -> int:
+    def _measured_bits(
+        self, payload: Any, observer: Optional[Observer] = None
+    ) -> int:
         """The sizer's verdict for ``payload``, memoized.
 
         Interned payloads memoize on their stable ``key_token`` and
@@ -177,12 +221,20 @@ class SynchronousNetwork:
             if bits is None:
                 bits = self.sizer(payload)
                 self._interned_size_cache[token] = bits
+                if observer is not None:
+                    observer.count("net.interned_size_cache.miss")
+            elif observer is not None:
+                observer.count("net.interned_size_cache.hit")
             return bits
         key = id(payload)
         bits = self._size_cache.get(key)
         if bits is None:
             bits = self.sizer(payload)
             self._size_cache[key] = bits
+            if observer is not None:
+                observer.count("net.size_cache.miss")
+        elif observer is not None:
+            observer.count("net.size_cache.hit")
         return bits
 
     def _deliver(
@@ -192,9 +244,12 @@ class SynchronousNetwork:
         per_receiver: Dict[ProcessId, Any],
         incoming_by_receiver: Dict[ProcessId, Dict[ProcessId, Any]],
         metered: bool,
+        observer: Optional[Observer] = None,
+        faulty: bool = False,
     ) -> None:
         trace = self.trace
         metrics = self.metrics
+        events = observer is not None and observer.events_on
         for receiver, payload in per_receiver.items():
             incoming = incoming_by_receiver.get(receiver)
             if incoming is not None:
@@ -205,10 +260,28 @@ class SynchronousNetwork:
             if is_bottom(payload):
                 continue
             if metered:
+                bits = self._measured_bits(payload, observer)
+                non_null = not self.is_null(payload)
                 metrics.record(
                     round_number, sender, receiver,
-                    bits=self._measured_bits(payload),
-                    non_null=not self.is_null(payload),
+                    bits=bits, non_null=non_null,
+                )
+                if events and not faulty:
+                    assert observer is not None
+                    observer.emit(
+                        "send", sender=sender, receiver=receiver,
+                        bits=bits, non_null=non_null,
+                    )
+            if events and faulty:
+                # Adversary-fixed traffic: recorded as a corruption,
+                # summarized rather than sized (a Byzantine payload's
+                # size says nothing about the protocol).
+                from repro.runtime.render import summarise_payload
+
+                assert observer is not None
+                observer.emit(
+                    "corrupt", sender=sender, receiver=receiver,
+                    summary=summarise_payload(payload),
                 )
             if incoming is not None and trace is not None:
                 trace.record_envelope(

@@ -12,10 +12,15 @@ full-information protocols is exponential) and are enabled per run via
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+import json
+import pathlib
+from typing import Any, Dict, List, Union
 
 from repro.runtime.message import Envelope
 from repro.types import ProcessId, Round
+
+#: Bump when the persisted trace layout changes incompatibly.
+TRACE_FORMAT_VERSION = 1
 
 
 class ExecutionTrace:
@@ -72,3 +77,86 @@ class ExecutionTrace:
     def rounds(self) -> List[Round]:
         """Rounds with at least one snapshot, ascending."""
         return sorted(self._snapshots)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_jsonl(self, path: Union[str, pathlib.Path]) -> None:
+        """Persist the trace as JSONL, payloads via the tagged codec.
+
+        The written trace round-trips through :meth:`from_jsonl` with
+        full structural equality (interned arrays reload as plain
+        tuples, which compare equal), so a recorded execution can be
+        re-checked by the simulation checker offline.  One header line
+        carries the format version; then one record per envelope in
+        delivery order, then one per snapshot in recording order.
+        """
+        from repro.obs.codec import encode_value
+
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w") as handle:
+            header = {"kind": "trace", "v": TRACE_FORMAT_VERSION}
+            handle.write(json.dumps(header) + "\n")
+            for envelope in self._envelopes:
+                record: Dict[str, Any] = {
+                    "kind": "envelope",
+                    "sender": envelope.sender,
+                    "receiver": envelope.receiver,
+                    "round": envelope.round_number,
+                    "payload": encode_value(envelope.payload),
+                }
+                handle.write(json.dumps(record) + "\n")
+            for round_number in sorted(self._snapshots):
+                for process_id, state in self._snapshots[
+                    round_number
+                ].items():
+                    record = {
+                        "kind": "snapshot",
+                        "round": round_number,
+                        "process": process_id,
+                        "state": encode_value(state),
+                    }
+                    handle.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def from_jsonl(
+        cls, path: Union[str, pathlib.Path]
+    ) -> "ExecutionTrace":
+        """Reload a trace written by :meth:`to_jsonl`."""
+        from repro.obs.codec import decode_value
+
+        trace = cls()
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        if not lines:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(lines[0])
+        if not (
+            isinstance(header, dict)
+            and header.get("kind") == "trace"
+            and header.get("v") == TRACE_FORMAT_VERSION
+        ):
+            raise ValueError(
+                f"{path}: not a version-{TRACE_FORMAT_VERSION} trace file"
+            )
+        for line in lines[1:]:
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "envelope":
+                trace.record_envelope(
+                    Envelope(
+                        record["sender"],
+                        record["receiver"],
+                        record["round"],
+                        decode_value(record["payload"]),
+                    )
+                )
+            elif kind == "snapshot":
+                trace.record_snapshot(
+                    record["round"],
+                    record["process"],
+                    decode_value(record["state"]),
+                )
+            else:
+                raise ValueError(f"{path}: unknown trace record {kind!r}")
+        return trace

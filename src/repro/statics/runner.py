@@ -1,8 +1,10 @@
 """Pass orchestration: discover files, run passes, apply the baseline.
 
 The scanned scope is deliberately the *protocol* packages — ``core``,
-``agreement``, ``avalanche``, ``compact``, ``fullinfo`` — because
-those implement the objects the paper's theorems quantify over.  The
+``agreement``, ``avalanche``, ``compact``, ``fullinfo`` — plus the
+kernel (``arrays``) and the observability subsystem (``obs``, whose
+event logs make determinism claims of their own), because those
+implement the objects the paper's theorems quantify over.  The
 runtime (network, metering, checkpointing) legitimately does I/O and
 is linted only by the general toolchain (ruff/mypy), not by protolint.
 """
@@ -24,18 +26,31 @@ from repro.statics.purity import run_purity_pass
 #: observationally pure and must stay that way (canonical nodes are
 #: compared and cached across processes), so its module-level shared
 #: registry carries a ``PURITY_EXEMPT`` justification rather than an
-#: exclusion from scanning.
+#: exclusion from scanning.  ``obs`` joined with the observability
+#: subsystem: its records feed determinism claims (diffable event
+#: logs), so the same bans apply to it — with one carve-out below.
 PROTOCOL_PACKAGES = (
-    "arrays", "core", "agreement", "avalanche", "compact", "fullinfo"
+    "arrays", "core", "agreement", "avalanche", "compact", "fullinfo", "obs"
 )
 
 #: Modules whose entry points are replayed *outside* the calling
 #: process (forked sweep-pool workers) — the process-level analogue of
 #: the Theorem 2 replay that motivates the purity pass.  They get the
 #: purity pass over every module-level function; structural impurities
-#: (fork-pool context globals) are exempted in-module via a justified
-#: ``PURITY_EXEMPT`` declaration rather than ad-hoc markers.
-WORKER_MODULES = ("analysis/parallel.py", "arrays/store.py")
+#: (fork-pool context globals, the process-wide observer slot) are
+#: exempted in-module via a justified ``PURITY_EXEMPT`` declaration
+#: rather than ad-hoc markers.
+WORKER_MODULES = (
+    "analysis/parallel.py", "arrays/store.py", "obs/core.py"
+)
+
+#: The one sanctioned wall-clock module.  Timing spans are explicitly
+#: nondeterministic (docs/observability.md documents the contract:
+#: span data never enters an event log's deterministic section), so
+#: this module alone may import :mod:`time`; the determinism pass
+#: still scans every other ``obs`` file, keeping the clock from
+#: leaking into the event schema.
+CLOCK_MODULES = ("obs/spans.py",)
 
 
 @dataclasses.dataclass
@@ -69,6 +84,7 @@ def collect_findings(package_root: pathlib.Path) -> List[Finding]:
     findings: List[Finding] = []
     prefix = package_root.name
     worker_paths = {package_root / module for module in WORKER_MODULES}
+    clock_paths = {package_root / module for module in CLOCK_MODULES}
     for package in PROTOCOL_PACKAGES:
         directory = package_root / package
         if not directory.is_dir():
@@ -76,7 +92,8 @@ def collect_findings(package_root: pathlib.Path) -> List[Finding]:
         for path in sorted(directory.rglob("*.py")):
             relative = f"{prefix}/{path.relative_to(package_root)}"
             source = path.read_text()
-            findings.extend(run_determinism_pass(source, relative))
+            if path not in clock_paths:
+                findings.extend(run_determinism_pass(source, relative))
             if path in worker_paths:
                 # Checked below in the stricter all-functions mode; the
                 # default-mode pass would report its (live) exemptions

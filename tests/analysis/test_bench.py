@@ -2,7 +2,12 @@
 
 import copy
 
-from repro.analysis.bench import SUITES, bench_fullinfo_deep, compare_reports
+from repro.analysis.bench import (
+    SUITES,
+    bench_fullinfo_deep,
+    compare_reports,
+    profile_regressions,
+)
 
 
 def _report(**overrides):
@@ -102,3 +107,74 @@ class TestDeepSuite:
             details["n"] ** details["rounds_per_execution"]
         )
         assert details["leaves_per_state"] >= 4 ** 10
+
+
+def _profiled_report(**span_totals):
+    report = _report()
+    report["suites"][0]["profile"] = {
+        span: {"count": 1, "total_s": total, "max_s": total}
+        for span, total in span_totals.items()
+    }
+    return report
+
+
+class TestProfileRegressions:
+    def test_top_regressions_as_display_lines(self):
+        baseline = _profiled_report(**{"sweep.execute": 0.1, "eig": 0.5})
+        current = _profiled_report(**{"sweep.execute": 0.3, "eig": 0.4})
+        lines = profile_regressions(current, baseline)
+        assert len(lines) == 1
+        assert lines[0].startswith("sweep.execute: 0.100s -> 0.300s")
+        assert "+0.200s" in lines[0]
+        assert "x3.00" in lines[0]
+
+    def test_empty_without_profiles_on_both_sides(self):
+        assert profile_regressions(_report(), _profiled_report(a=1.0)) == []
+        assert profile_regressions(_profiled_report(a=1.0), _report()) == []
+
+    def test_profiles_merge_across_suites(self):
+        current = _profiled_report(a=1.0)
+        current["suites"][1]["profile"] = {
+            "a": {"count": 1, "total_s": 1.0, "max_s": 1.0}
+        }
+        baseline = _profiled_report(a=0.5)
+        baseline["suites"][1]["profile"] = {
+            "a": {"count": 1, "total_s": 0.5, "max_s": 0.5}
+        }
+        (line,) = profile_regressions(current, baseline)
+        assert line.startswith("a: 1.000s -> 2.000s")
+
+    def test_never_gates(self):
+        # a huge span regression alone leaves compare_reports clean
+        baseline = _profiled_report(a=0.001)
+        current = _profiled_report(a=99.0)
+        assert profile_regressions(current, baseline)
+        assert compare_reports(current, baseline) == []
+
+
+class TestRunBenchProfile:
+    def test_every_suite_carries_a_span_rollup(self, tmp_path):
+        from repro.analysis.bench import run_bench, write_report
+
+        report = run_bench(
+            suites=["avalanche"], quick=True, workers=1,
+            events=tmp_path / "events.jsonl",
+        )
+        (suite,) = report["suites"]
+        profile = suite["profile"]
+        assert any(path.startswith("bench.avalanche") for path in profile)
+        for stats in profile.values():
+            assert set(stats) == {"count", "total_s", "max_s"}
+        # the profile survives serialization (additive to schema v1)
+        path = tmp_path / "bench.json"
+        write_report(report, path)
+        assert '"profile"' in path.read_text()
+        assert report["schema_version"] == 1
+
+    def test_profile_false_omits_the_rollup(self):
+        from repro.analysis.bench import run_bench
+
+        report = run_bench(
+            suites=["avalanche"], quick=True, workers=1, profile=False,
+        )
+        assert "profile" not in report["suites"][0]

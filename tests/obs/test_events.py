@@ -1,0 +1,141 @@
+"""The event log: schema v1, sinks, and validation."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_FIELDS,
+    NONDETERMINISTIC_KINDS,
+    SCHEMA_VERSION,
+    EventLog,
+    json_safe,
+    read_jsonl,
+    validate_record,
+    validate_records,
+)
+from repro.types import BOTTOM
+
+
+def _record(kind="round_start", step=1, **fields):
+    base = {"v": SCHEMA_VERSION, "kind": kind, "run": "r1", "round": 0,
+            "step": step}
+    base.update(fields)
+    return base
+
+
+class TestJsonSafe:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 0, 1.5, "x"):
+            assert json_safe(value) is value
+
+    def test_structures_become_repr(self):
+        assert json_safe((1, 2)) == "(1, 2)"
+        assert json_safe(BOTTOM) == repr(BOTTOM)
+
+
+class TestEventLog:
+    def test_in_memory_accumulates(self):
+        log = EventLog()
+        log.write({"a": 1})
+        log.write({"b": 2})
+        assert log.records == [{"a": 1}, {"b": 2}]
+
+    def test_streams_to_path(self, tmp_path):
+        path = tmp_path / "nested" / "events.jsonl"
+        log = EventLog(path)
+        log.write(_record())
+        log.write(_record(step=2))
+        log.close()
+        assert log.records == []  # streamed, not retained
+        assert read_jsonl(path) == [_record(), _record(step=2)]
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.write(_record())
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0]) == _record()
+
+
+class TestValidateRecord:
+    def test_valid_round_start(self):
+        assert validate_record(_record()) == []
+
+    def test_every_kind_has_a_field_table(self):
+        # the closed-schema invariant the validator relies on
+        assert "send" in EVENT_FIELDS
+        assert NONDETERMINISTIC_KINDS <= set(EVENT_FIELDS)
+
+    def test_missing_envelope_field(self):
+        record = _record()
+        del record["step"]
+        assert any("step" in p for p in validate_record(record))
+
+    def test_wrong_schema_version(self):
+        problems = validate_record(_record(v=99))
+        assert any("schema version" in p for p in problems)
+
+    def test_unknown_kind_rejected(self):
+        problems = validate_record(_record(kind="telemetry"))
+        assert problems == ["unknown event kind 'telemetry'"]
+
+    def test_missing_payload_field(self):
+        record = _record(kind="send", sender=1, receiver=2, bits=10)
+        problems = validate_record(record)
+        assert any("non_null" in p for p in problems)
+
+    def test_bool_is_not_an_int(self):
+        # bool subclasses int; the schema keeps them apart
+        record = _record(kind="send", sender=True, receiver=2, bits=10,
+                         non_null=True)
+        assert any("sender" in p for p in validate_record(record))
+
+    def test_nullable_run(self):
+        record = _record()
+        record["run"] = None
+        assert validate_record(record) == []
+        record["run"] = 7
+        assert any("run" in p for p in validate_record(record))
+
+    def test_nondeterministic_kind_requires_flag(self):
+        record = _record(kind="profile", spans={}, gauges={})
+        assert any("nondeterministic" in p for p in validate_record(record))
+        record["nondeterministic"] = True
+        assert validate_record(record) == []
+
+    def test_deterministic_kind_rejects_flag(self):
+        record = _record(nondeterministic=True)
+        assert any("wrongly flagged" in p for p in validate_record(record))
+
+
+class TestValidateRecords:
+    def test_step_must_strictly_increase(self):
+        records = [_record(step=1), _record(step=1)]
+        problems = validate_records(records)
+        assert any("logical clock" in p for p in problems)
+
+    def test_problems_carry_record_index(self):
+        problems = validate_records([_record(kind="nope")])
+        assert problems[0].startswith("record 0:")
+
+
+class TestReadJsonl:
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_jsonl(path)
+
+    def test_rejects_non_object_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            read_jsonl(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(json.dumps(_record()) + "\n\n")
+        assert len(read_jsonl(path)) == 1

@@ -1,0 +1,196 @@
+"""End-to-end instrumentation: real runs observed through the runtime.
+
+The determinism contract under test: the event stream of an observed
+run is a pure function of ``(protocol, inputs, adversary, seed)`` —
+identical in-process for everything except the cache-warmth counters
+dump, and byte-identical across fresh processes.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.adversary import EquivocatingAdversary, SilentAdversary
+from repro.analysis.sweeps import standard_adversary_makers, sweep
+from repro.avalanche.protocol import avalanche_factory
+from repro.compact.byzantine_agreement import run_compact_byzantine_agreement
+from repro.obs import EventLog, Observer, observing, validate_records
+from repro.runtime.engine import run_protocol
+
+
+def observed_compact_ba(config4, adversary):
+    log = EventLog()
+    with observing(Observer(events=log)):
+        run_compact_byzantine_agreement(
+            config4,
+            {1: 1, 2: 0, 3: 1, 4: 0},
+            value_alphabet=[0, 1],
+            k=2,
+            adversary=adversary,
+        )
+    return log.records
+
+
+class TestObservedRun:
+    def test_records_validate(self, config4):
+        records = observed_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        assert validate_records(records) == []
+
+    def test_expected_event_kinds(self, config4):
+        records = observed_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        kinds = {record["kind"] for record in records}
+        assert {
+            "run_start", "run_end", "round_start", "round_end",
+            "send", "state", "decide", "corrupt", "counters", "profile",
+        } <= kinds
+
+    def test_corrupt_events_only_under_an_adversary(self, config4):
+        silent = observed_compact_ba(config4, SilentAdversary([]))
+        kinds = {record["kind"] for record in silent}
+        assert "corrupt" not in kinds
+
+    def test_run_start_describes_the_scenario(self, config4):
+        records = observed_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        start = next(r for r in records if r["kind"] == "run_start")
+        assert start["n"] == 4
+        assert start["t"] == 1
+        assert start["adversary"] == "EquivocatingAdversary"
+        assert start["faulty"] == [4]
+
+    def test_round_totals_match_the_meters(self, config4):
+        records = observed_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        end = next(r for r in records if r["kind"] == "run_end")
+        round_bits = sum(
+            r["bits"] for r in records if r["kind"] == "round_end"
+        )
+        send_bits = sum(r["bits"] for r in records if r["kind"] == "send")
+        assert end["bits"] == round_bits == send_bits
+
+    def test_counters_expose_the_caches(self, config4):
+        records = observed_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        counters = next(
+            r for r in records if r["kind"] == "counters"
+        )["counters"]
+        assert counters["runs"] == 1
+        assert counters["net.messages"] > 0
+        assert "net.size_cache.hit" in counters
+        assert "compact.expansion.hit" in counters
+
+    def test_event_stream_is_deterministic_in_process(self, config4):
+        def stream():
+            return [
+                record
+                for record in observed_compact_ba(
+                    config4, EquivocatingAdversary([4], 0, 1)
+                )
+                # cache-warmth counters and wall time vary in-process
+                if record["kind"] not in ("counters", "profile")
+            ]
+
+        assert stream() == stream()
+
+    def test_unobserved_run_stays_unobserved(self, config4):
+        # no active observer: the null path must not blow up anywhere
+        result = run_compact_byzantine_agreement(
+            config4,
+            {1: 1, 2: 0, 3: 1, 4: 0},
+            value_alphabet=[0, 1],
+            k=2,
+            adversary=EquivocatingAdversary([4], 0, 1),
+        )
+        assert result.decisions
+
+
+class TestObservedSweep:
+    def test_cell_lifecycle_events(self, config4):
+        log = EventLog()
+        patterns = [{p: p % 2 for p in config4.process_ids}]
+        with observing(Observer(events=log)) as observer:
+            sweep(
+                avalanche_factory(), config4, patterns, [(3,)],
+                standard_adversary_makers()[:2], seeds=(0,),
+                run_full_rounds=3, workers=1,
+            )
+        starts = [r for r in log.records if r["kind"] == "cell_start"]
+        ends = [r for r in log.records if r["kind"] == "cell_end"]
+        assert len(starts) == len(ends) == 2
+        assert [r["index"] for r in starts] == [0, 1]
+        assert observer.registry.counter("sweep.cells") == 2
+        assert validate_records(log.records) == []
+
+    def test_pooled_sweep_reports_executor_stats(self, config4):
+        log = EventLog()
+        patterns = [{p: p % 2 for p in config4.process_ids}]
+        with observing(Observer(events=log)) as observer:
+            sweep(
+                avalanche_factory(), config4, patterns, [(3,)],
+                standard_adversary_makers()[:2], seeds=(0, 1),
+                run_full_rounds=3, workers=2,
+            )
+        # cells execute in workers whose inherited observer is swapped
+        # for a local counters-only one; the parent records
+        # executor-level instrumentation and absorbs the workers'
+        # scheduling-independent counters
+        kinds = {r["kind"] for r in log.records}
+        assert "chunk" in kinds
+        assert "cell_start" not in kinds
+        workers_events = [r for r in log.records if r["kind"] == "workers"]
+        assert len(workers_events) == 1
+        assert workers_events[0]["nondeterministic"] is True
+        gauges = observer.registry.gauges()
+        assert gauges["pool.workers"] == 2.0
+        assert observer.registry.counter("pool.chunks") > 0
+        assert observer.registry.counter("sweep.cells") == 4
+        assert observer.registry.counter("runs") == 4
+        assert observer.registry.counter("net.bits") > 0
+        # cache hit/miss splits depend on chunk-to-worker scheduling,
+        # so they never cross the process boundary
+        assert not any(
+            name.endswith((".hit", ".miss"))
+            for name in observer.registry.counters()
+        )
+        assert validate_records(log.records) == []
+
+    def test_pooled_counters_match_the_serial_reference(self, config4):
+        patterns = [{p: p % 2 for p in config4.process_ids}]
+
+        def observed_counters(workers):
+            with observing(Observer(events=None)) as observer:
+                sweep(
+                    avalanche_factory(), config4, patterns, [(3,)],
+                    standard_adversary_makers()[:2], seeds=(0, 1),
+                    run_full_rounds=3, workers=workers,
+                )
+            counters = observer.registry.counters()
+            return {
+                name: value for name, value in counters.items()
+                if name.startswith("net.") and not name.endswith(
+                    (".hit", ".miss")
+                ) or name in ("runs", "sweep.cells")
+            }
+
+        assert observed_counters(1) == observed_counters(2)
+
+
+class TestFreshProcessByteIdentity:
+    def test_two_fresh_processes_write_identical_logs(self, tmp_path):
+        """The cross-process half of the determinism contract."""
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        for path in paths:
+            subprocess.run(
+                [sys.executable, "-m", "repro", "run-ba", "--t", "1",
+                 "--events", str(path)],
+                check=True, env=env, capture_output=True,
+            )
+        first, second = (path.read_bytes() for path in paths)
+        # the nondeterministic section is exempt from byte identity
+        def deterministic(raw):
+            return [
+                line for line in raw.splitlines()
+                if b'"nondeterministic": true' not in line
+            ]
+
+        assert deterministic(first) == deterministic(second)
+        assert len(deterministic(first)) < len(first.splitlines())

@@ -95,6 +95,73 @@ class TestRenderDecisions:
         assert "undecided" in render_decisions(result)
 
 
+class TestGoldenOutputs:
+    """Full-string pins: the rendered text is a published format.
+
+    These runs are deterministic, so the exact output (including
+    column alignment and trailing padding) is stable; a diff here
+    means the rendering contract changed, not just cosmetics.
+    """
+
+    GOLDEN_ROUND = (
+        "round 1\n"
+        "snd\\rcv  1       2       3       4      \n"
+        "1        'v'     'v'     -       'v'    \n"
+        "2        'v'     'v'     -       'v'    \n"
+        "3x       -       -       -       -      \n"
+        "4        'v'     'v'     -       'v'    "
+    )
+
+    GOLDEN_DECISIONS = (
+        "decisions:\n"
+        "  1: 'v' @ round 2\n"
+        "  2: 'v' @ round 2\n"
+        "  3: (faulty)\n"
+        "  4: 'v' @ round 2"
+    )
+
+    # the faulty sender's row shows the adversary-replaced envelopes:
+    # receiver 3 got a different value than receivers 1 and 2
+    GOLDEN_EQUIVOCATED_ROUND = (
+        "round 1\n"
+        "snd\\rcv  1       2       3       4      \n"
+        "1        0       0       0       -      \n"
+        "2        1       1       1       -      \n"
+        "3        0       0       0       -      \n"
+        "4x       0       0       1       -      "
+    )
+
+    @pytest.fixture
+    def equivocated_result(self, config4):
+        inputs = {1: 0, 2: 1, 3: 0, 4: 1}
+        return run_protocol(
+            avalanche_factory(),
+            config4,
+            inputs,
+            adversary=EquivocatingAdversary([4], 0, 1),
+            run_full_rounds=2,
+            record_trace=True,
+        )
+
+    def test_round_matrix(self, traced_result):
+        assert render_round(traced_result, 1) == self.GOLDEN_ROUND
+
+    def test_decisions(self, traced_result):
+        assert render_decisions(traced_result) == self.GOLDEN_DECISIONS
+
+    def test_adversary_replaced_envelopes(self, equivocated_result):
+        assert (
+            render_round(equivocated_result, 1)
+            == self.GOLDEN_EQUIVOCATED_ROUND
+        )
+
+    def test_execution_stitches_rounds_and_decisions(self, traced_result):
+        text = render_execution(traced_result, rounds=[1])
+        assert text == (
+            self.GOLDEN_ROUND + "\n\n" + render_decisions(traced_result)
+        )
+
+
 class TestRenderExecution:
     def test_full_render(self, config4):
         inputs = {p: p % 2 for p in config4.process_ids}

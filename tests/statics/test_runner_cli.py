@@ -178,3 +178,43 @@ class TestToolsEntryPoint:
         spec.loader.exec_module(module)
         assert module.main([]) == 0
         assert "clean" in capsys.readouterr().out
+
+
+class TestObservabilityRegistration:
+    """repro.obs is inside the protolint perimeter, with its carve-outs."""
+
+    def test_obs_is_a_scanned_package(self):
+        from repro.statics.runner import PROTOCOL_PACKAGES
+
+        assert "obs" in PROTOCOL_PACKAGES
+
+    def test_observer_module_gets_worker_purity_mode(self):
+        from repro.statics.runner import WORKER_MODULES
+
+        assert "obs/core.py" in WORKER_MODULES
+
+    def test_spans_is_the_only_clock_module(self):
+        from repro.statics.runner import CLOCK_MODULES
+
+        assert CLOCK_MODULES == ("obs/spans.py",)
+
+    def test_obs_tree_is_lint_clean(self):
+        # the spans carve-out plus the PURITY_EXEMPT declarations must
+        # cover everything: no obs finding may need the baseline
+        result = lint_tree()
+        assert [
+            finding
+            for finding in result.findings + result.suppressed
+            if "/obs/" in finding.path
+        ] == []
+
+    def test_clock_import_outside_spans_is_a_finding(self, tmp_path):
+        package = tmp_path / "repro" / "obs"
+        package.mkdir(parents=True)
+        (package / "rogue.py").write_text(
+            "import time\n\ndef f():\n    return time.time()\n"
+        )
+        result = lint_tree(package_root=tmp_path / "repro")
+        assert any(
+            "time" in finding.message for finding in result.findings
+        )
