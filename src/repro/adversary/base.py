@@ -19,6 +19,7 @@ Correct-process code never sees this module; the network applies it.
 from __future__ import annotations
 
 import abc
+import types
 from typing import Any, Dict, Iterable, Mapping, Optional
 
 import numpy as np
@@ -41,13 +42,31 @@ class RoundContext:
     ):
         self.config = config
         self.round_number = round_number
-        self._correct_outgoing = correct_outgoing
+        # Read-only views, not copies: the network delivers from these
+        # same dicts *after* the adversary speaks, so a mutating
+        # strategy writing through this mapping would silently corrupt
+        # correct processors' sends.  MappingProxyType blocks writes at
+        # zero copying cost (contexts are built every round).
+        self._correct_outgoing = types.MappingProxyType({
+            sender: types.MappingProxyType(messages)
+            for sender, messages in correct_outgoing.items()
+        })
         self._processes = processes
         self.inputs = dict(inputs)
 
+    @property
+    def correct_outgoing(
+        self,
+    ) -> Mapping[ProcessId, Mapping[ProcessId, Any]]:
+        """All correct traffic this round, as a read-only mapping."""
+        return self._correct_outgoing
+
     def correct_message(self, sender: ProcessId, receiver: ProcessId) -> Any:
         """The message a correct ``sender`` is sending ``receiver`` now."""
-        return self._correct_outgoing.get(sender, {}).get(receiver, BOTTOM)
+        sender_row = self._correct_outgoing.get(sender)
+        if sender_row is None:
+            return BOTTOM
+        return sender_row.get(receiver, BOTTOM)
 
     def correct_senders(self) -> Iterable[ProcessId]:
         """Ids of correct processors with traffic this round."""

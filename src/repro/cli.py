@@ -15,7 +15,9 @@ Gives a downstream user the paper's artifacts without writing code:
   log recorded via ``run-ba --events`` or ``bench --events``
   (see :mod:`repro.obs` and docs/observability.md),
 * ``lint``      — the protocol-aware static analysis of
-  :mod:`repro.statics` (determinism, purity and catalog contracts).
+  :mod:`repro.statics` (determinism, purity and catalog contracts),
+* ``fuzz``      — seeded adversarial campaigns with differential
+  oracles and counterexample shrinking (see docs/fuzzing.md).
 """
 
 from __future__ import annotations
@@ -216,6 +218,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help="accept all current findings into the baseline file",
+    )
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="seeded adversarial fuzzing (see docs/fuzzing.md)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--cases",
+        type=int,
+        default=25,
+        help="scenarios per protocol (default 25)",
+    )
+    fuzz.add_argument(
+        "--protocol",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="fuzz this registered protocol (repeatable; default: "
+        "avalanche, compact-ba, eig)",
+    )
+    fuzz.add_argument("--n", type=int, default=4)
+    fuzz.add_argument("--t", type=int, default=1)
+    fuzz.add_argument("--workers", type=int, default=1)
+    fuzz.add_argument(
+        "--shrink",
+        action="store_true",
+        help="minimize failing cases before reporting them",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="write shrunk counterexamples here as replayable cases",
+    )
+    fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="replay one saved case file (or every case in a "
+        "directory) instead of running a campaign",
+    )
+    fuzz.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="campaign report format",
     )
 
     return parser
@@ -525,6 +574,64 @@ def _command_lint(args):
     return rendered, result.exit_code
 
 
+def _command_fuzz(args):
+    import pathlib
+
+    from repro.errors import ConfigurationError
+    from repro.fuzz.campaign import CampaignSettings, replay_case, run_campaign
+    from repro.fuzz.case import load_case, load_corpus
+    from repro.fuzz.protocols import DEFAULT_PROTOCOLS
+
+    if args.replay is not None:
+        path = pathlib.Path(args.replay)
+        if path.is_dir():
+            entries = load_corpus(path)
+            if not entries:
+                return f"error: no fuzz cases under {path}", 2
+        elif path.is_file():
+            entries = [(path, load_case(path))]
+        else:
+            return f"error: {path} is neither a case file nor a corpus", 2
+        lines = []
+        failures = 0
+        for case_path, case in entries:
+            try:
+                outcome = replay_case(case)
+            except ConfigurationError as error:
+                return f"error: {case_path.name}: {error}", 2
+            if outcome.failed:
+                failures += 1
+                lines.append(f"FAIL {case_path.name}")
+                lines.extend(f"  - {text}" for text in outcome.violations)
+            else:
+                lines.append(f"ok   {case_path.name}")
+        lines.append(
+            f"{len(entries)} case(s) replayed, {failures} still failing"
+        )
+        return "\n".join(lines), (1 if failures else 0)
+
+    protocols = tuple(args.protocol) if args.protocol else DEFAULT_PROTOCOLS
+    settings = CampaignSettings(
+        seed=args.seed,
+        cases=args.cases,
+        protocols=protocols,
+        n=args.n,
+        t=args.t,
+        workers=args.workers,
+        shrink=args.shrink or args.corpus is not None,
+        corpus_dir=args.corpus,
+    )
+    try:
+        report = run_campaign(settings)
+    except ConfigurationError as error:
+        return f"error: {error}", 2
+    if args.format == "json":
+        rendered = report.to_json()
+    else:
+        rendered = report.render_text().rstrip("\n")
+    return rendered, (0 if report.clean else 1)
+
+
 _HANDLERS = {
     "table1": _command_table1,
     "run-ba": _command_run_ba,
@@ -535,6 +642,7 @@ _HANDLERS = {
     "bench": _command_bench,
     "events": _command_events,
     "lint": _command_lint,
+    "fuzz": _command_fuzz,
 }
 
 

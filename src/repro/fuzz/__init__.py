@@ -1,0 +1,71 @@
+"""Seeded adversarial fuzzing with differential oracles.
+
+The paper's guarantees are universally quantified over adversary
+behaviour; this package searches that space.  One seed determines a
+whole campaign — generated scenarios, every adversary decision,
+oracle verdicts, shrunk counterexamples — so `repro fuzz --seed S` is
+byte-reproducible across runs and worker counts.
+
+Layout:
+
+* :mod:`repro.fuzz.adversary` — the generative :class:`FuzzAdversary`
+  sampling per-round Byzantine behaviours from the seed;
+* :mod:`repro.fuzz.protocols` — the target registry
+  (:class:`ProtocolSpec`): how to run and judge each protocol;
+* :mod:`repro.fuzz.oracles` — the paper's predicates as violation
+  detectors, plus the cross-protocol differential oracle;
+* :mod:`repro.fuzz.campaign` — the deterministic campaign driver and
+  the single :func:`replay_case` path;
+* :mod:`repro.fuzz.shrink` — greedy counterexample minimization
+  (rounds → faulty set → per-message mask);
+* :mod:`repro.fuzz.case` — the replayable :class:`FuzzCase` file
+  format and the ``tests/fuzz/corpus/`` regression corpus.
+
+See docs/fuzzing.md for the determinism contract and the triage
+workflow.
+"""
+
+from repro.fuzz.adversary import FuzzAdversary
+from repro.fuzz.campaign import (
+    CampaignReport,
+    CampaignSettings,
+    ReplayOutcome,
+    replay_case,
+    run_campaign,
+)
+from repro.fuzz.case import FuzzCase, load_case, load_corpus
+from repro.fuzz.oracles import ORACLES, STATE_ORACLES, differential_mismatches
+from repro.fuzz.protocols import (
+    CATALOG_PROTOCOLS,
+    DEFAULT_PROTOCOLS,
+    ProtocolSpec,
+    get_spec,
+    protocol_names,
+    register,
+    unregister,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_case
+
+__all__ = [
+    "CATALOG_PROTOCOLS",
+    "CampaignReport",
+    "CampaignSettings",
+    "DEFAULT_PROTOCOLS",
+    "FuzzAdversary",
+    "FuzzCase",
+    "ORACLES",
+    "ProtocolSpec",
+    "ReplayOutcome",
+    "STATE_ORACLES",
+    "ShrinkResult",
+    "differential_mismatches",
+    "get_spec",
+    "load_case",
+    "load_corpus",
+    "protocol_names",
+    "register",
+    "replay_case",
+    "run_campaign",
+    "shrink_case",
+    "unregister",
+]

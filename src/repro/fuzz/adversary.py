@@ -1,0 +1,307 @@
+"""The generative fuzzing adversary.
+
+Hand-written strategies (:mod:`repro.adversary.byzantine`) each encode
+one known attack.  :class:`FuzzAdversary` instead *samples* the attack
+space: every round, for every faulty sender, it draws one behaviour
+from a menu covering the fault models the paper's theorems quantify
+over —
+
+* **silence** — full omission (the crash/omission end of the
+  spectrum, detectable by recipients);
+* **selective omission** — honest-looking traffic delivered to a
+  random subset of recipients only;
+* **equivocation** — one value to one half of the recipients, another
+  to the rest;
+* **garbage** — structurally malformed payloads (ragged or wrong-width
+  tuples, junk scalars) exercising the "obviously erroneous, discarded
+  immediately" validation paths;
+* **forgery** — a *mutation* of real correct traffic, re-interned
+  through :meth:`repro.arrays.store.ArrayStore.try_intern` so the
+  payload is biased toward well-shaped, legal-but-malicious arrays
+  (the hardest case: nothing about the message itself betrays the
+  fault);
+* **mimicry** — replaying one correct processor's outgoing row
+  verbatim (legal traffic that may contradict the sender's own past).
+
+Some faulty processors are additionally downgraded to **crash faults**
+at bind time: they behave honestly (mimic a fixed correct processor)
+until a sampled crash round, deliver to only a prefix of recipients in
+that round, and stay silent forever after — the benign-fault end of
+the adversary spectrum, inside the same execution.
+
+Every choice flows from the adversary's bound RNG substream (the
+engine derives it from the execution seed via
+:func:`repro.runtime.rng.derive_rng`), and the network invokes faulty
+senders in sorted order each round, so one seed fixes the entire
+attack — executions are replayable, shrinkable and diffable.
+
+A ``mask`` of ``(round, sender)`` pairs forces plain silence for those
+slots *without* consuming different amounts of randomness: the slot's
+behaviour is still fully sampled and only its deliveries are dropped.
+Every unmasked slot therefore draws exactly what it would have drawn,
+and the attack changes only through the protocol's own reaction to
+the silenced messages — the property the shrinker's per-message axis
+relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.adversary.base import Adversary, RoundContext
+from repro.arrays.store import shared_store
+from repro.types import BOTTOM, ProcessId, Round, Value, is_bottom
+
+#: The behaviour menu, in the fixed order the RNG indexes into.
+BEHAVIOURS: Tuple[str, ...] = (
+    "silent",
+    "omit",
+    "equivocate",
+    "garbage",
+    "forge",
+    "mimic",
+)
+
+#: Probability that a faulty processor is downgraded to a crash fault.
+_CRASH_PROBABILITY = 0.25
+
+#: Per-leaf mutation probability inside forged arrays.
+_MUTATION_RATE = 0.3
+
+
+class FuzzAdversary(Adversary):
+    """Seed-driven sampler over the Byzantine behaviour space.
+
+    Parameters
+    ----------
+    faulty_ids:
+        The fault set ``F`` for the whole execution.
+    palette:
+        Values used for equivocation and forged leaves; defaults to
+        the values present in the execution's input vector.
+    mask:
+        ``(round, sender)`` pairs forced to plain silence (see the
+        module docstring; the shrinker's per-message axis).
+    crash_probability:
+        Chance, per faulty processor, of a crash-fault downgrade.
+    """
+
+    def __init__(
+        self,
+        faulty_ids: Iterable[ProcessId],
+        palette: Optional[Sequence[Value]] = None,
+        mask: Iterable[Tuple[Round, ProcessId]] = (),
+        crash_probability: float = _CRASH_PROBABILITY,
+    ):
+        super().__init__(faulty_ids)
+        self._palette = tuple(palette) if palette is not None else None
+        self.mask = frozenset(
+            (int(round_number), int(sender)) for round_number, sender in mask
+        )
+        self._crash_probability = crash_probability
+        self._crash_round: Dict[ProcessId, Round] = {}
+        self._honest_mimic: Dict[ProcessId, int] = {}
+
+    def bind(self, config, rng) -> None:  # type: ignore[override]
+        super().bind(config, rng)
+        # Crash downgrades are sampled once, up front, in sorted-id
+        # order, so the per-round draw sequence is independent of them.
+        self._crash_round = {}
+        self._honest_mimic = {}
+        for sender in sorted(self.faulty_ids):
+            crashes = float(self.rng.random()) < self._crash_probability
+            crash_round = int(self.rng.integers(1, 8))
+            mimic_slot = int(self.rng.integers(0, config.n))
+            if crashes:
+                self._crash_round[sender] = crash_round
+            self._honest_mimic[sender] = mimic_slot
+
+    # -- behaviour dispatch --------------------------------------------------
+
+    def outgoing(
+        self, round_number: Round, sender: ProcessId, context: RoundContext
+    ) -> Dict[ProcessId, Any]:
+        # The full attack is sampled first and the mask applied last,
+        # so masking a slot only drops its deliveries — it never
+        # changes how much randomness is consumed, and every other
+        # (round, sender) slot replays byte-identically.  This is the
+        # property the shrinker's per-message axis relies on.
+        messages = self._sample_outgoing(round_number, sender, context)
+        if (int(round_number), int(sender)) in self.mask:
+            return {}
+        return messages
+
+    def _sample_outgoing(
+        self, round_number: Round, sender: ProcessId, context: RoundContext
+    ) -> Dict[ProcessId, Any]:
+        rng = self.rng
+        behaviour = BEHAVIOURS[int(rng.integers(0, len(BEHAVIOURS)))]
+        crash_round = self._crash_round.get(sender)
+        if crash_round is not None:
+            if round_number > crash_round:
+                return {}
+            honest = self._honest_row(sender, context)
+            if round_number < crash_round:
+                return honest
+            # The crash round itself: an atomic send cut mid-way.
+            cut = int(rng.integers(0, self.config.n + 1))
+            recipients = sorted(honest)[:cut]
+            return {receiver: honest[receiver] for receiver in recipients}
+        handler = getattr(self, f"_behave_{behaviour}")
+        return handler(round_number, sender, context)
+
+    def _honest_row(
+        self, sender: ProcessId, context: RoundContext
+    ) -> Dict[ProcessId, Any]:
+        """What a fixed correct processor is sending, replayed verbatim."""
+        correct = sorted(context.correct_senders())
+        if not correct:
+            return {}
+        mimic = correct[self._honest_mimic[sender] % len(correct)]
+        return {
+            receiver: context.correct_message(mimic, receiver)
+            for receiver in self.config.process_ids
+        }
+
+    def _values(self, context: RoundContext) -> List[Value]:
+        if self._palette:
+            return list(self._palette)
+        # dict.fromkeys dedups in first-seen order (never a set walk).
+        seen = sorted(
+            (value for value in dict.fromkeys(context.inputs.values())
+             if not is_bottom(value)),
+            key=repr,
+        )
+        return seen or [0]
+
+    # -- the behaviour menu ----------------------------------------------------
+
+    def _behave_silent(
+        self, round_number: Round, sender: ProcessId, context: RoundContext
+    ) -> Dict[ProcessId, Any]:
+        return {}
+
+    def _behave_omit(
+        self, round_number: Round, sender: ProcessId, context: RoundContext
+    ) -> Dict[ProcessId, Any]:
+        rng = self.rng
+        row = self._honest_row(sender, context)
+        return {
+            receiver: row.get(receiver, BOTTOM)
+            for receiver in self.config.process_ids
+            if float(rng.random()) < 0.5
+        }
+
+    def _behave_equivocate(
+        self, round_number: Round, sender: ProcessId, context: RoundContext
+    ) -> Dict[ProcessId, Any]:
+        rng = self.rng
+        palette = self._values(context)
+        value_a = palette[int(rng.integers(0, len(palette)))]
+        value_b = palette[int(rng.integers(0, len(palette)))]
+        ordered = sorted(self.config.process_ids)
+        middle = len(ordered) // 2
+        messages: Dict[ProcessId, Any] = {}
+        for receiver in ordered[:middle]:
+            messages[receiver] = value_a
+        for receiver in ordered[middle:]:
+            messages[receiver] = value_b
+        return messages
+
+    def _behave_garbage(
+        self, round_number: Round, sender: ProcessId, context: RoundContext
+    ) -> Dict[ProcessId, Any]:
+        rng = self.rng
+        n = self.config.n
+        menu: List[Any] = [
+            tuple(0 for _ in range(n + 1)),                # wrong width
+            tuple((0,) if index == 0 else 0 for index in range(n)),  # ragged
+            f"junk-{int(rng.integers(0, 1000))}",          # alien scalar
+            ("two", "values"),                              # multi-value
+            (),                                             # empty tuple
+        ]
+        return {
+            receiver: menu[int(rng.integers(0, len(menu)))]
+            for receiver in sorted(self.config.process_ids)
+        }
+
+    def _behave_forge(
+        self, round_number: Round, sender: ProcessId, context: RoundContext
+    ) -> Dict[ProcessId, Any]:
+        palette = self._values(context)
+        messages: Dict[ProcessId, Any] = {}
+        for receiver in sorted(self.config.process_ids):
+            template = context.sample_correct_message(receiver)
+            messages[receiver] = self._mutate(template, palette)
+        return messages
+
+    def _behave_mimic(
+        self, round_number: Round, sender: ProcessId, context: RoundContext
+    ) -> Dict[ProcessId, Any]:
+        rng = self.rng
+        correct = sorted(context.correct_senders())
+        if not correct:
+            return {}
+        mimic = correct[int(rng.integers(0, len(correct)))]
+        return {
+            receiver: context.correct_message(mimic, receiver)
+            for receiver in self.config.process_ids
+        }
+
+    # -- forgery -------------------------------------------------------------
+
+    def _mutate(self, value: Any, palette: List[Value]) -> Any:
+        """A plausible corruption of ``value``, shape-preserving.
+
+        Tuples are rebuilt with leaf flips and re-interned through the
+        shared store's :meth:`try_intern` — when the mutation is
+        well-shaped (the common case, since the template was) the
+        forged payload is a *legal* value array indistinguishable from
+        honest traffic except by content.  Scalars flip within the
+        palette; unknown wire types fall back to a palette value.
+        """
+        rng = self.rng
+        if isinstance(value, tuple):
+            mutated = self._mutate_array(value, palette)
+            interned = shared_store(self.config.n).try_intern(mutated)
+            return interned if interned is not None else mutated
+        if isinstance(value, dict):
+            # e.g. firing-squad payloads: {instance-start: state}.
+            return {
+                key: self._mutate(component, palette)
+                for key, component in sorted(
+                    value.items(), key=lambda item: repr(item[0])
+                )
+            }
+        payload = self._mutate_payload(value, palette)
+        if payload is not None:
+            return payload
+        if is_bottom(value) or float(rng.random()) < 0.5:
+            return palette[int(rng.integers(0, len(palette)))]
+        return value
+
+    def _mutate_array(self, array: Tuple[Any, ...], palette: List[Value]) -> Any:
+        rng = self.rng
+        components: List[Any] = []
+        for component in array:
+            if isinstance(component, tuple):
+                components.append(self._mutate_array(component, palette))
+            elif float(rng.random()) < _MUTATION_RATE:
+                components.append(palette[int(rng.integers(0, len(palette)))])
+            else:
+                components.append(component)
+        return tuple(components)
+
+    def _mutate_payload(self, value: Any, palette: List[Value]) -> Optional[Any]:
+        """Mutate a compact-protocol payload, or ``None`` if not one."""
+        from repro.compact.payload import CompactPayload
+
+        if not isinstance(value, CompactPayload):
+            return None
+        return CompactPayload(
+            main=self._mutate(value.main, palette),
+            votes=tuple(
+                (boundary, self._mutate(vote_tuple, palette))
+                for boundary, vote_tuple in value.votes
+            ),
+        )

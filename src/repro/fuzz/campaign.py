@@ -1,0 +1,494 @@
+"""Campaign driver: generate scenarios, execute, judge, shrink, persist.
+
+A campaign is a pure function of ``(settings)`` — same settings, same
+report, byte for byte, for any worker count.  The moving parts:
+
+1. **Scenario generation.**  Scenarios (input vector, fault set,
+   execution seed) are drawn from ``derive_rng(seed, "fuzz", group)``
+   per differential group, so every member of a group fuzzes the
+   *identical* scenario list — the precondition for the differential
+   oracle — and adding a protocol to a campaign never perturbs
+   another group's scenarios.
+2. **Execution.**  Each protocol's cases become
+   :class:`~repro.analysis.parallel.SweepCell`s fanned out through
+   :func:`~repro.analysis.parallel.execute_cells`, which already pins
+   byte-identical outcomes for any worker count.
+3. **Judging.**  All oracles run in the campaign parent over the
+   returned outcomes (pool workers never judge), so verdict strings
+   are deterministic and a worker-count change cannot reorder them.
+4. **Consistency phase.**  State oracles (Theorem 9) need live
+   process objects, which portable pool results deliberately drop —
+   so a fixed-size prefix of each stateful protocol's cases is
+   re-executed serially (same seeds → same executions) and judged
+   live.  The sampled count is reported; nothing is silently capped.
+5. **Shrink & persist.**  Failing cases are minimized
+   (:mod:`repro.fuzz.shrink`) and written to the corpus as replayable
+   regression files.
+
+:func:`replay_case` is the single re-execution path used by the
+shrinker, the corpus pytest replayer, and ``repro fuzz --replay``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import repro.obs.core as _obs
+from repro.analysis.parallel import SweepCell, SweepContext, execute_cells, run_cell
+from repro.errors import ConfigurationError
+from repro.fuzz.adversary import FuzzAdversary
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.oracles import differential_mismatches, run_oracles
+from repro.fuzz.protocols import DEFAULT_PROTOCOLS, ProtocolSpec, get_spec
+from repro.runtime.engine import ExecutionResult
+from repro.runtime.rng import derive_rng
+from repro.types import SystemConfig
+
+REPORT_SCHEMA_VERSION = 1
+
+#: Name under which the fuzz adversary appears in sweep cells.
+_ADVERSARY_NAME = "fuzz"
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSettings:
+    """Everything that determines a campaign (and hence its report)."""
+
+    seed: int = 0
+    cases: int = 25  # scenarios per protocol
+    protocols: Tuple[str, ...] = DEFAULT_PROTOCOLS
+    n: int = 4
+    t: int = 1
+    workers: int = 1
+    shrink: bool = False
+    corpus_dir: Optional[str] = None
+    consistency_sample: int = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class CaseVerdict:
+    """One judged execution."""
+
+    case: FuzzCase
+    violations: Tuple[str, ...]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+
+@dataclasses.dataclass
+class CampaignReport:
+    """The deterministic output of one campaign."""
+
+    seed: int
+    n: int
+    t: int
+    protocols: Tuple[str, ...]
+    cases_per_protocol: int
+    executions: int
+    failures: List[Dict[str, Any]]
+    differential_failures: List[Dict[str, Any]]
+    consistency_checked: Dict[str, int]
+    differential_checked: int
+    shrunk: List[Dict[str, Any]]
+    schema_version: int = REPORT_SCHEMA_VERSION
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures and not self.differential_failures
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = [
+            f"fuzz campaign: seed={self.seed} n={self.n} t={self.t} "
+            f"protocols={','.join(self.protocols)}",
+            f"  executions: {self.executions} "
+            f"({self.cases_per_protocol} cases/protocol)",
+        ]
+        for protocol in self.protocols:
+            checked = self.consistency_checked.get(protocol)
+            if checked is not None:
+                lines.append(
+                    f"  consistency phase [{protocol}]: {checked} of "
+                    f"{self.cases_per_protocol} cases re-run live "
+                    "(state oracles; prefix sample, not exhaustive)"
+                )
+        if self.differential_checked:
+            lines.append(
+                f"  differential scenarios cross-checked: "
+                f"{self.differential_checked}"
+            )
+        if self.clean:
+            lines.append("  all oracles passed")
+        for failure in self.failures:
+            lines.append(
+                f"  FAIL {failure['protocol']} case {failure['digest']} "
+                f"seed={failure['seed']} faulty={failure['faulty']}"
+            )
+            for violation in failure["violations"]:
+                lines.append(f"    - {violation}")
+        for failure in self.differential_failures:
+            lines.append(
+                f"  DIFF-FAIL group {failure['group']} scenario "
+                f"#{failure['scenario']} seed={failure['seed']}"
+            )
+            for violation in failure["violations"]:
+                lines.append(f"    - {violation}")
+        for entry in self.shrunk:
+            lines.append(
+                f"  shrunk {entry['protocol']} -> rounds={entry['rounds']} "
+                f"faulty={entry['faulty']} mask={entry['mask']} "
+                f"file={entry['file']}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+# -- scenario generation -----------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class _Scenario:
+    index: int
+    inputs: Tuple[Tuple[int, Any], ...]
+    faulty: Tuple[int, ...]
+    seed: int
+
+
+def _group_plan(
+    settings: CampaignSettings,
+) -> List[Tuple[str, List[ProtocolSpec]]]:
+    """Campaign protocols grouped by differential group, order kept."""
+    groups: List[Tuple[str, List[ProtocolSpec]]] = []
+    by_key: Dict[str, List[ProtocolSpec]] = {}
+    for name in settings.protocols:
+        spec = get_spec(name)
+        key = spec.differential_group or spec.name
+        if key not in by_key:
+            by_key[key] = []
+            groups.append((key, by_key[key]))
+        by_key[key].append(spec)
+    return groups
+
+
+def _generate_scenarios(
+    settings: CampaignSettings, group: str, sampler_spec: ProtocolSpec
+) -> List[_Scenario]:
+    config = SystemConfig(n=settings.n, t=settings.t)
+    rng = derive_rng(settings.seed, "fuzz", group)
+    scenarios: List[_Scenario] = []
+    for index in range(settings.cases):
+        inputs = sampler_spec.sample_inputs(config, rng)
+        fault_count = int(rng.integers(0, settings.t + 1))
+        faulty = tuple(sorted(
+            int(pid) + 1 for pid in rng.permutation(settings.n)[:fault_count]
+        ))
+        case_seed = int(rng.integers(0, 2 ** 31))
+        scenarios.append(_Scenario(
+            index=index,
+            inputs=tuple(sorted(inputs.items())),
+            faulty=faulty,
+            seed=case_seed,
+        ))
+    return scenarios
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def _context_for(
+    spec: ProtocolSpec,
+    config: SystemConfig,
+    rounds: Optional[int],
+    mask: Tuple[Tuple[int, int], ...] = (),
+) -> SweepContext:
+    def maker(faulty: Sequence[int]) -> FuzzAdversary:
+        return FuzzAdversary(faulty, palette=spec.palette, mask=mask)
+
+    cap = spec.max_rounds(config)
+    if rounds is not None:
+        cap = max(cap, rounds + 1)
+    return SweepContext(
+        factory=spec.build(config),
+        config=config,
+        adversary_makers=((_ADVERSARY_NAME, maker),),
+        predicate=None,
+        max_rounds=cap,
+        run_full_rounds=rounds,
+        sizer=None,
+        is_null=None,
+    )
+
+
+def _cell_for(case: FuzzCase, index: int) -> SweepCell:
+    return SweepCell(
+        index=index,
+        inputs=case.input_map,
+        faulty=case.faulty,
+        adversary_name=_ADVERSARY_NAME,
+        adversary_index=0,
+        seed=case.seed,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayOutcome:
+    """A replayed case with its live result and oracle verdicts."""
+
+    case: FuzzCase
+    result: ExecutionResult
+    violations: Tuple[str, ...]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+
+def replay_case(case: FuzzCase) -> ReplayOutcome:
+    """Re-execute one case serially with live processes and judge it.
+
+    The single replay path: the shrinker's failure predicate, the
+    corpus pytest replayer, and ``repro fuzz --replay`` all call this,
+    so a saved case means the same thing everywhere.
+    """
+    spec = get_spec(case.protocol)
+    config = SystemConfig(n=case.n, t=case.t)
+    unsupported = spec.supports(config)
+    if unsupported:
+        raise ConfigurationError(
+            f"case {case.filename()} targets {case.protocol} at an "
+            f"unsupported configuration: {unsupported}"
+        )
+    rounds = case.rounds if case.rounds is not None else spec.default_rounds(config)
+    context = _context_for(spec, config, rounds, mask=case.mask)
+    outcome = run_cell(context, _cell_for(case, index=0), portable=False)
+    violations = tuple(run_oracles(
+        spec.oracles + spec.state_oracles, outcome.result
+    ))
+    return ReplayOutcome(case=case, result=outcome.result, violations=violations)
+
+
+# -- the campaign ------------------------------------------------------------
+
+
+def run_campaign(settings: CampaignSettings) -> CampaignReport:
+    """Run one deterministic fuzz campaign and return its report."""
+    config = SystemConfig(n=settings.n, t=settings.t)
+    for name in settings.protocols:
+        unsupported = get_spec(name).supports(config)
+        if unsupported:
+            raise ConfigurationError(f"{name}: {unsupported}")
+
+    observer = _obs.ACTIVE
+    failures: List[Dict[str, Any]] = []
+    differential_failures: List[Dict[str, Any]] = []
+    consistency_checked: Dict[str, int] = {}
+    shrunk_entries: List[Dict[str, Any]] = []
+    failing_cases: List[FuzzCase] = []
+    executions = 0
+    differential_checked = 0
+
+    with _obs.span("fuzz.campaign"):
+        for group, specs in _group_plan(settings):
+            scenarios = _generate_scenarios(settings, group, specs[0])
+            group_results: Dict[str, List[ExecutionResult]] = {}
+            for spec in specs:
+                cases = [
+                    FuzzCase.build(
+                        protocol=spec.name,
+                        n=settings.n,
+                        t=settings.t,
+                        seed=scenario.seed,
+                        inputs=scenario.inputs,
+                        faulty=scenario.faulty,
+                    )
+                    for scenario in scenarios
+                ]
+                verdicts, results = _run_protocol_cases(
+                    spec, config, cases, settings.workers
+                )
+                executions += len(results)
+                group_results[spec.name] = results
+                if observer is not None:
+                    observer.count("fuzz.cases", len(results))
+                for verdict in verdicts:
+                    if verdict.failed:
+                        failures.append(_failure_entry(verdict))
+                        failing_cases.append(verdict.case.with_(
+                            violations=verdict.violations
+                        ))
+                if spec.state_oracles:
+                    checked, state_verdicts = _consistency_phase(
+                        spec, config, cases, settings.consistency_sample
+                    )
+                    consistency_checked[spec.name] = checked
+                    for verdict in state_verdicts:
+                        if verdict.failed:
+                            failures.append(_failure_entry(verdict))
+                            failing_cases.append(verdict.case.with_(
+                                violations=verdict.violations
+                            ))
+            if len(specs) > 1:
+                differential_checked += len(scenarios)
+                differential_failures.extend(_differential_phase(
+                    group, specs, scenarios, group_results
+                ))
+
+        if settings.shrink and failing_cases:
+            with _obs.span("fuzz.shrink"):
+                shrunk_entries = _shrink_phase(failing_cases, settings)
+
+    report = CampaignReport(
+        seed=settings.seed,
+        n=settings.n,
+        t=settings.t,
+        protocols=tuple(settings.protocols),
+        cases_per_protocol=settings.cases,
+        executions=executions,
+        failures=failures,
+        differential_failures=differential_failures,
+        consistency_checked=consistency_checked,
+        differential_checked=differential_checked,
+        shrunk=shrunk_entries,
+    )
+    if observer is not None and observer.events_on:
+        observer.emit(
+            "fuzz_campaign",
+            seed=settings.seed,
+            executions=executions,
+            failures=len(failures) + len(differential_failures),
+            shrunk=len(shrunk_entries),
+        )
+    return report
+
+
+def _run_protocol_cases(
+    spec: ProtocolSpec,
+    config: SystemConfig,
+    cases: List[FuzzCase],
+    workers: int,
+) -> Tuple[List[CaseVerdict], List[ExecutionResult]]:
+    rounds = spec.default_rounds(config)
+    context = _context_for(spec, config, rounds)
+    cells = [_cell_for(case, index) for index, case in enumerate(cases)]
+    with _obs.span("fuzz.execute"):
+        outcomes = execute_cells(context, cells, workers)
+    verdicts: List[CaseVerdict] = []
+    results: List[ExecutionResult] = []
+    for case, outcome in zip(cases, outcomes):
+        violations = tuple(run_oracles(spec.oracles, outcome.result))
+        if outcome.error:
+            violations = violations + (
+                f"[engine] execution error: {outcome.error}",
+            )
+        verdicts.append(CaseVerdict(case=case, violations=violations))
+        results.append(outcome.result)
+    return verdicts, results
+
+
+def _consistency_phase(
+    spec: ProtocolSpec,
+    config: SystemConfig,
+    cases: List[FuzzCase],
+    sample: int,
+) -> Tuple[int, List[CaseVerdict]]:
+    """Serially re-run a case prefix with live processes (state oracles).
+
+    Re-running is sound because executions are pure functions of their
+    seeds: the live run is the very execution the pool judged, with
+    its states still attached.
+    """
+    checked = min(sample, len(cases))
+    rounds = spec.default_rounds(config)
+    context = _context_for(spec, config, rounds)
+    verdicts: List[CaseVerdict] = []
+    with _obs.span("fuzz.consistency"):
+        for index in range(checked):
+            outcome = run_cell(
+                context, _cell_for(cases[index], index), portable=False
+            )
+            violations = tuple(run_oracles(spec.state_oracles, outcome.result))
+            verdicts.append(CaseVerdict(case=cases[index], violations=violations))
+    return checked, verdicts
+
+
+def _differential_phase(
+    group: str,
+    specs: List[ProtocolSpec],
+    scenarios: List[_Scenario],
+    group_results: Dict[str, List[ExecutionResult]],
+) -> List[Dict[str, Any]]:
+    failures: List[Dict[str, Any]] = []
+    with _obs.span("fuzz.differential"):
+        for scenario in scenarios:
+            per_protocol = {
+                spec.name: group_results[spec.name][scenario.index]
+                for spec in specs
+            }
+            violations = differential_mismatches(per_protocol)
+            if violations:
+                failures.append({
+                    "group": group,
+                    "scenario": scenario.index,
+                    "seed": scenario.seed,
+                    "faulty": list(scenario.faulty),
+                    "violations": violations,
+                })
+    return failures
+
+
+def _shrink_phase(
+    failing_cases: List[FuzzCase], settings: CampaignSettings
+) -> List[Dict[str, Any]]:
+    from repro.fuzz.shrink import shrink_case
+
+    entries: List[Dict[str, Any]] = []
+    seen_digests: Dict[str, bool] = {}
+    for case in failing_cases:
+        result = shrink_case(case)
+        shrunk = result.case
+        if shrunk.digest() in seen_digests:
+            continue
+        seen_digests[shrunk.digest()] = True
+        entry: Dict[str, Any] = {
+            "protocol": shrunk.protocol,
+            "digest": shrunk.digest(),
+            "seed": shrunk.seed,
+            "rounds": shrunk.rounds,
+            "faulty": list(shrunk.faulty),
+            "mask": [list(pair) for pair in shrunk.mask],
+            "violations": list(shrunk.violations),
+            "attempts": result.attempts,
+            "file": None,
+        }
+        if settings.corpus_dir:
+            from pathlib import Path
+
+            path = shrunk.save(Path(settings.corpus_dir))
+            entry["file"] = path.name
+        entries.append(entry)
+    return entries
+
+
+def _failure_entry(verdict: CaseVerdict) -> Dict[str, Any]:
+    return {
+        "protocol": verdict.case.protocol,
+        "digest": verdict.case.digest(),
+        "seed": verdict.case.seed,
+        "faulty": list(verdict.case.faulty),
+        "violations": list(verdict.violations),
+    }
+
+
+__all__ = [
+    "CampaignReport",
+    "CampaignSettings",
+    "CaseVerdict",
+    "ReplayOutcome",
+    "replay_case",
+    "run_campaign",
+]

@@ -1,0 +1,305 @@
+"""The fuzz target registry: how to run and judge each protocol.
+
+A :class:`ProtocolSpec` packages everything the campaign driver needs
+to fuzz one protocol — how to build its processes for a given system
+configuration, how to sample a legal input vector, how long to run,
+and which oracles judge the outcome.  Registering a spec is the whole
+integration surface: `repro fuzz --protocol <name>` and the corpus
+replayer find it here, so every future protocol gets adversarial
+coverage by adding one entry.
+
+Specs for the paper's protocols (avalanche, compact-BA, EIG) and the
+agreement catalog (crusader, weak, firing squad) are registered at
+import.  Tests may register throwaway mutants (e.g. a deliberately
+weakened decision rule) under fresh names; see
+:func:`register` / :func:`unregister`.
+
+``differential_group`` ties protocols that must be judged on
+*identical* scenarios: members of a group share sampled inputs, fault
+sets and execution seeds, which is what gives the cross-protocol
+differential oracle (:func:`repro.fuzz.oracles.differential_mismatches`)
+its footing — compact-BA is *defined* (Corollary 10) as a simulation
+of the EIG protocol, so the two runs are comparable point by point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import BOTTOM, ProcessId, SystemConfig, Value
+
+#: Builds one correct processor (the run_protocol factory shape).
+ProcessBuilder = Callable[[ProcessId, SystemConfig, Value], Any]
+
+#: Samples one legal input vector for the protocol.
+InputSampler = Callable[[SystemConfig, np.random.Generator], Dict[ProcessId, Value]]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolSpec:
+    """One fuzz target."""
+
+    name: str
+    #: Builds the run_protocol process factory for a configuration.
+    build: Callable[[SystemConfig], ProcessBuilder]
+    #: Draws one input vector from the campaign's RNG substream.
+    sample_inputs: InputSampler
+    #: Names into :data:`repro.fuzz.oracles.ORACLES`, checked on every
+    #: execution (portable results suffice).
+    oracles: Tuple[str, ...]
+    #: Safety cap on rounds (the engine raises beyond it).
+    max_rounds: Callable[[SystemConfig], int]
+    #: For non-terminating / externally-clocked protocols: how many
+    #: full rounds to run (``None`` = run until all correct decide).
+    full_rounds: Optional[Callable[[SystemConfig], int]] = None
+    #: Oracles needing live process objects (run in the serial
+    #: consistency phase and on replay, never through the pool).
+    state_oracles: Tuple[str, ...] = ()
+    #: Protocols sharing a group are run on identical scenarios and
+    #: cross-checked by the differential oracle.
+    differential_group: Optional[str] = None
+    #: Values the adversary uses for equivocation and forged leaves.
+    palette: Tuple[Value, ...] = (0, 1)
+    #: Reject configurations the protocol cannot run at (returns a
+    #: reason string, or ``None`` when supported).
+    supports: Callable[[SystemConfig], Optional[str]] = lambda config: None
+
+    def default_rounds(self, config: SystemConfig) -> Optional[int]:
+        return None if self.full_rounds is None else self.full_rounds(config)
+
+
+_REGISTRY: Dict[str, ProtocolSpec] = {}
+
+
+def register(spec: ProtocolSpec) -> ProtocolSpec:
+    """Add a fuzz target; its name becomes a `--protocol` choice."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(f"fuzz protocol {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a spec (tests registering mutants clean up with this)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_spec(name: str) -> ProtocolSpec:
+    """Look up a registered fuzz target by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fuzz protocol {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        )
+
+
+def protocol_names() -> Tuple[str, ...]:
+    """All registered target names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+#: What `repro fuzz` runs when no --protocol is given: the paper's
+#: protocols (the acceptance trio).
+DEFAULT_PROTOCOLS: Tuple[str, ...] = ("avalanche", "compact-ba", "eig")
+
+#: Everything registered at import — campaigns over the full catalog.
+CATALOG_PROTOCOLS: Tuple[str, ...] = (
+    "avalanche", "compact-ba", "crusader", "eig", "firing-squad", "weak"
+)
+
+
+# -- input samplers ----------------------------------------------------------
+
+
+def sample_binary_inputs(
+    config: SystemConfig, rng: np.random.Generator
+) -> Dict[ProcessId, Value]:
+    """An independent fair bit per processor."""
+    return {
+        process_id: int(rng.integers(0, 2))
+        for process_id in config.process_ids
+    }
+
+
+def sample_avalanche_inputs(
+    config: SystemConfig, rng: np.random.Generator
+) -> Dict[ProcessId, Value]:
+    """Binary, with an occasional BOTTOM (a processor with no input)."""
+    inputs: Dict[ProcessId, Value] = {}
+    for process_id in config.process_ids:
+        if float(rng.random()) < 0.1:
+            inputs[process_id] = BOTTOM
+        else:
+            inputs[process_id] = int(rng.integers(0, 2))
+    return inputs
+
+
+def sample_go_rounds(
+    config: SystemConfig, rng: np.random.Generator
+) -> Dict[ProcessId, Value]:
+    """Firing-squad stimuli: a GO round in 1..3, or never (BOTTOM)."""
+    inputs: Dict[ProcessId, Value] = {}
+    for process_id in config.process_ids:
+        if float(rng.random()) < 0.25:
+            inputs[process_id] = BOTTOM
+        else:
+            inputs[process_id] = int(rng.integers(1, 4))
+    return inputs
+
+
+def _needs_byzantine_quorum(config: SystemConfig) -> Optional[str]:
+    if not config.requires_byzantine_quorum():
+        return f"needs n >= 3t+1, got n={config.n}, t={config.t}"
+    return None
+
+
+# -- the built-in targets ----------------------------------------------------
+
+
+def _build_avalanche(config: SystemConfig) -> ProcessBuilder:
+    from repro.avalanche.protocol import avalanche_factory
+
+    return avalanche_factory()
+
+
+def _avalanche_rounds(config: SystemConfig) -> int:
+    # Long enough for decisions to propagate and the one-round
+    # avalanche window to be observable several times over.
+    return config.t + 5
+
+
+register(ProtocolSpec(
+    name="avalanche",
+    build=_build_avalanche,
+    sample_inputs=sample_avalanche_inputs,
+    oracles=("avalanche",),
+    max_rounds=lambda config: _avalanche_rounds(config) + 1,
+    full_rounds=_avalanche_rounds,
+    supports=_needs_byzantine_quorum,
+))
+
+
+def _build_compact_ba(config: SystemConfig) -> ProcessBuilder:
+    from repro.compact.byzantine_agreement import compact_ba_factory
+
+    return compact_ba_factory(config, (0, 1), default=0, k=1)
+
+
+def _compact_ba_cap(config: SystemConfig) -> int:
+    from repro.compact.byzantine_agreement import compact_ba_rounds
+
+    return compact_ba_rounds(config.t, k=1) + 1
+
+
+register(ProtocolSpec(
+    name="compact-ba",
+    build=_build_compact_ba,
+    sample_inputs=sample_binary_inputs,
+    oracles=("decided", "agreement", "validity"),
+    max_rounds=_compact_ba_cap,
+    differential_group="ba",
+    supports=_needs_byzantine_quorum,
+))
+
+
+def _build_eig(config: SystemConfig) -> ProcessBuilder:
+    from repro.agreement.eig_agreement import eig_agreement_factory
+
+    return eig_agreement_factory(config, (0, 1), default=0)
+
+
+register(ProtocolSpec(
+    name="eig",
+    build=_build_eig,
+    sample_inputs=sample_binary_inputs,
+    oracles=("decided", "agreement", "validity"),
+    max_rounds=lambda config: config.t + 2,
+    state_oracles=("fullinfo-consistency",),
+    differential_group="ba",
+    supports=_needs_byzantine_quorum,
+))
+
+
+def _build_crusader(config: SystemConfig) -> ProcessBuilder:
+    from repro.agreement.crusader import crusader_factory
+
+    # The highest id is the source, so sampled fault sets cover both
+    # the correct-source and faulty-source regimes.
+    return crusader_factory(source=config.n)
+
+
+register(ProtocolSpec(
+    name="crusader",
+    build=_build_crusader,
+    sample_inputs=sample_binary_inputs,
+    oracles=("decided", "crusader"),
+    max_rounds=lambda config: 3,
+    supports=_needs_byzantine_quorum,
+))
+
+
+def _build_weak(config: SystemConfig) -> ProcessBuilder:
+    from repro.agreement.phase_king import phase_king_factory
+    from repro.agreement.weak import weak_agreement_factory
+
+    return weak_agreement_factory(phase_king_factory(), default=0)
+
+
+def _weak_cap(config: SystemConfig) -> int:
+    from repro.agreement.phase_king import phase_king_rounds
+
+    # One unanimity-test round, then the inner binary protocol.
+    return 1 + phase_king_rounds(config.t) + 1
+
+
+register(ProtocolSpec(
+    name="weak",
+    build=_build_weak,
+    sample_inputs=sample_binary_inputs,
+    oracles=("decided", "agreement", "weak-validity"),
+    max_rounds=_weak_cap,
+    supports=_needs_byzantine_quorum,
+))
+
+
+def _build_firing_squad(config: SystemConfig) -> ProcessBuilder:
+    from repro.agreement.firing_squad import firing_squad_factory
+
+    return firing_squad_factory()
+
+
+def _firing_squad_rounds(config: SystemConfig) -> int:
+    # Latest sampled GO round (3) + the instance's t + 1 exchanges,
+    # with one round of slack so simultaneity violations are visible.
+    return 3 + config.t + 2
+
+
+register(ProtocolSpec(
+    name="firing-squad",
+    build=_build_firing_squad,
+    sample_inputs=sample_go_rounds,
+    oracles=("firing-squad",),
+    max_rounds=lambda config: _firing_squad_rounds(config) + 1,
+    full_rounds=_firing_squad_rounds,
+    supports=_needs_byzantine_quorum,
+))
+
+
+__all__ = [
+    "CATALOG_PROTOCOLS",
+    "DEFAULT_PROTOCOLS",
+    "ProtocolSpec",
+    "get_spec",
+    "protocol_names",
+    "register",
+    "sample_avalanche_inputs",
+    "sample_binary_inputs",
+    "sample_go_rounds",
+    "unregister",
+]

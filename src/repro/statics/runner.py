@@ -30,7 +30,8 @@ from repro.statics.purity import run_purity_pass
 #: subsystem: its records feed determinism claims (diffable event
 #: logs), so the same bans apply to it — with one carve-out below.
 PROTOCOL_PACKAGES = (
-    "arrays", "core", "agreement", "avalanche", "compact", "fullinfo", "obs"
+    "arrays", "core", "agreement", "avalanche", "compact", "fullinfo",
+    "fuzz", "obs",
 )
 
 #: Modules whose entry points are replayed *outside* the calling
@@ -41,7 +42,8 @@ PROTOCOL_PACKAGES = (
 #: exempted in-module via a justified ``PURITY_EXEMPT`` declaration
 #: rather than ad-hoc markers.
 WORKER_MODULES = (
-    "analysis/parallel.py", "arrays/store.py", "obs/core.py"
+    "analysis/parallel.py", "arrays/store.py", "fuzz/campaign.py",
+    "obs/core.py",
 )
 
 #: The one sanctioned wall-clock module.  Timing spans are explicitly

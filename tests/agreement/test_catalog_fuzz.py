@@ -1,0 +1,41 @@
+"""Fuzz coverage for the agreement catalog (ISSUE 5, satellite S3).
+
+Seeded campaigns over the catalog protocols — crusader, weak
+agreement, firing squad — must come out clean: their oracles encode
+exactly the guarantees each protocol claims (crusader's two-value
+rule, weak validity's fault-free binding, the squad's simultaneity/
+safety/liveness triple), and the generative adversary covers the
+Byzantine envelope those claims are quantified over.
+"""
+
+import pytest
+
+from repro.fuzz.campaign import CampaignSettings, run_campaign
+
+CATALOG = ("crusader", "weak", "firing-squad")
+
+
+@pytest.mark.parametrize("protocol", CATALOG)
+def test_catalog_protocol_survives_fuzzing(protocol):
+    report = run_campaign(CampaignSettings(
+        seed=11, cases=30, protocols=(protocol,),
+    ))
+    assert report.executions == 30
+    assert report.failures == [], report.render_text()
+
+
+def test_catalog_campaign_clean_and_deterministic():
+    reports = [
+        run_campaign(CampaignSettings(seed=11, cases=20, protocols=CATALOG))
+        for _ in range(2)
+    ]
+    assert reports[0].clean
+    assert reports[0].executions == 60
+    assert reports[0].to_json() == reports[1].to_json()
+
+
+def test_catalog_clean_at_larger_system_size():
+    report = run_campaign(CampaignSettings(
+        seed=13, cases=8, protocols=CATALOG, n=7, t=2,
+    ))
+    assert report.clean, report.render_text()

@@ -1,0 +1,94 @@
+"""Campaign driver: determinism across workers, clean acceptance sweep."""
+
+import pytest
+
+from repro.fuzz.campaign import CampaignSettings, replay_case, run_campaign
+from repro.fuzz.case import FuzzCase
+
+
+class TestWorkerDeterminism:
+    def test_report_byte_identical_across_worker_counts(self):
+        reports = [
+            run_campaign(
+                CampaignSettings(seed=7, cases=12, workers=workers)
+            )
+            for workers in (1, 2)
+        ]
+        assert reports[0].to_json() == reports[1].to_json()
+
+    def test_same_seed_same_report(self):
+        reports = [
+            run_campaign(CampaignSettings(seed=3, cases=6)) for _ in range(2)
+        ]
+        assert reports[0].to_json() == reports[1].to_json()
+
+    def test_different_seeds_change_the_campaign(self):
+        first = run_campaign(CampaignSettings(seed=1, cases=6))
+        second = run_campaign(CampaignSettings(seed=2, cases=6))
+        assert first.to_json() != second.to_json()
+
+
+class TestAcceptanceSweep:
+    def test_default_protocols_clean_over_200_executions(self):
+        """ISSUE acceptance: >= 200 cases over avalanche/compact-ba/eig."""
+        report = run_campaign(CampaignSettings(seed=7, cases=70, workers=2))
+        assert report.executions >= 200
+        assert report.failures == []
+        assert report.differential_failures == []
+        assert report.clean
+
+    def test_differential_and_consistency_phases_ran(self):
+        report = run_campaign(CampaignSettings(seed=7, cases=12))
+        # compact-ba and eig share the "ba" differential group.
+        assert report.differential_checked > 0
+        # eig carries the Theorem 9 full-information state oracle.
+        assert report.consistency_checked.get("eig", 0) > 0
+
+
+class TestReportShape:
+    def test_report_records_settings(self):
+        report = run_campaign(
+            CampaignSettings(seed=5, cases=4, protocols=("avalanche",))
+        )
+        assert report.seed == 5
+        assert report.cases_per_protocol == 4
+        assert report.protocols == ("avalanche",)
+        assert report.executions == 4
+        assert "avalanche" in report.render_text()
+
+    def test_unknown_protocol_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_campaign(
+                CampaignSettings(seed=0, cases=1, protocols=("no-such",))
+            )
+
+
+class TestReplay:
+    def test_replay_clean_case(self):
+        case = FuzzCase.build(
+            protocol="avalanche",
+            n=4,
+            t=1,
+            seed=2026,
+            inputs={1: 1, 2: 1, 3: 0, 4: 1},
+            faulty=(3,),
+        )
+        outcome = replay_case(case)
+        assert outcome.violations == ()
+        assert not outcome.failed
+        assert outcome.result.rounds >= 1
+
+    def test_replay_is_deterministic(self):
+        case = FuzzCase.build(
+            protocol="compact-ba",
+            n=4,
+            t=1,
+            seed=86,
+            inputs={1: 0, 2: 1, 3: 1, 4: 0},
+            faulty=(2,),
+        )
+        outcomes = [replay_case(case) for _ in range(2)]
+        assert outcomes[0].result.decisions == outcomes[1].result.decisions
+        assert outcomes[0].violations == outcomes[1].violations

@@ -1,0 +1,106 @@
+"""FuzzCase: canonicalisation, JSON round-trip, digests, corpus I/O."""
+
+import json
+
+import pytest
+
+from repro.fuzz.case import CASE_SCHEMA_VERSION, FuzzCase, load_case, load_corpus
+from repro.types import BOTTOM
+
+
+def _case(**overrides):
+    fields = dict(
+        protocol="avalanche",
+        n=4,
+        t=1,
+        seed=99,
+        inputs={1: 1, 2: 0, 3: 1, 4: BOTTOM},
+        faulty={3},
+        rounds=4,
+        mask=[(2, 3)],
+        note="hand-built",
+        violations=("[avalanche] something",),
+    )
+    fields.update(overrides)
+    return FuzzCase.build(**fields)
+
+
+class TestCanonicalisation:
+    def test_build_normalises_collections(self):
+        case = _case(inputs={2: 0, 1: 1, 4: BOTTOM, 3: 1}, faulty=[3, 3])
+        assert case.inputs == ((1, 1), (2, 0), (3, 1), (4, BOTTOM))
+        assert case.faulty == (3,)
+        assert case.mask == ((2, 3),)
+
+    def test_input_map(self):
+        case = _case()
+        assert case.input_map == {1: 1, 2: 0, 3: 1, 4: BOTTOM}
+
+    def test_with_recanonicalises(self):
+        case = _case()
+        smaller = case.with_(faulty=set(), rounds=2)
+        assert smaller.faulty == ()
+        assert smaller.rounds == 2
+        assert smaller.seed == case.seed
+        assert case.faulty == (3,)  # original untouched
+
+    def test_equality_ignores_violations(self):
+        assert _case(violations=()) == _case(violations=("[x] boom",))
+
+
+class TestDigest:
+    def test_digest_is_stable_across_note_and_violations(self):
+        base = _case()
+        annotated = _case(note="different note", violations=("[y] other",))
+        assert base.digest() == annotated.digest()
+
+    def test_digest_changes_with_replay_fields(self):
+        assert _case().digest() != _case(seed=100).digest()
+        assert _case().digest() != _case(mask=[]).digest()
+        assert _case().digest() != _case(rounds=3).digest()
+
+    def test_filename_embeds_protocol_and_digest(self):
+        case = _case()
+        assert case.filename() == f"avalanche-{case.digest()}.json"
+
+
+class TestJson:
+    def test_round_trip_preserves_bottom(self):
+        case = _case()
+        clone = FuzzCase.from_json(case.to_json())
+        assert clone == case
+        assert clone.input_map[4] is BOTTOM
+        assert clone.violations == case.violations
+
+    def test_rejects_unknown_schema_version(self):
+        payload = json.loads(_case().to_json())
+        payload["schema_version"] = CASE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            FuzzCase.from_json(json.dumps(payload))
+
+    def test_json_is_deterministic(self):
+        assert _case().to_json() == _case().to_json()
+
+
+class TestCorpusIO:
+    def test_save_and_load_case(self, tmp_path):
+        case = _case()
+        path = case.save(tmp_path)
+        assert path.name == case.filename()
+        assert load_case(path) == case
+
+    def test_load_corpus_sorted_by_filename(self, tmp_path):
+        cases = [
+            _case(seed=seed, protocol=protocol)
+            for seed, protocol in ((5, "eig"), (6, "avalanche"), (7, "eig"))
+        ]
+        for case in cases:
+            case.save(tmp_path)
+        loaded = load_corpus(tmp_path)
+        assert [path.name for path, _ in loaded] == sorted(
+            path.name for path, _ in loaded
+        )
+        assert {case for _, case in loaded} == set(cases)
+
+    def test_load_corpus_empty_dir(self, tmp_path):
+        assert load_corpus(tmp_path) == []

@@ -1,0 +1,44 @@
+"""Replay the committed regression corpus.
+
+Every file under ``tests/fuzz/corpus/`` is a seed case whose contract
+is *zero oracle violations* (failing counterexamples only ever live in
+the corpus while their bug does; fixing the bug re-greens the file and
+it stays as a regression guard).  A corrupted or renamed file is
+caught by the digest check.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.fuzz.campaign import replay_case
+from repro.fuzz.case import load_corpus
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+
+_ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert len(_ENTRIES) >= 4
+
+
+@pytest.mark.parametrize(
+    "path,case",
+    _ENTRIES,
+    ids=[path.name for path, _ in _ENTRIES],
+)
+def test_corpus_case_replays_clean(path, case):
+    outcome = replay_case(case)
+    assert outcome.violations == (), (
+        f"{path.name} regressed: {list(outcome.violations)}"
+    )
+
+
+@pytest.mark.parametrize(
+    "path,case",
+    _ENTRIES,
+    ids=[path.name for path, _ in _ENTRIES],
+)
+def test_corpus_filename_matches_content(path, case):
+    assert path.name == case.filename()

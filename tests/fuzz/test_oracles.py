@@ -1,0 +1,217 @@
+"""Oracle unit tests over hand-built execution results.
+
+Each oracle is exercised on a synthetic :class:`ExecutionResult` in
+both directions: a compliant outcome yields no violations, and a
+planted violation is reported.  The differential oracle's sound/
+unsound boundary (fault-free equality, unanimous co-decision, and
+*no* claim under faults with mixed inputs) is pinned explicitly.
+"""
+
+from repro.fuzz.oracles import (
+    check_agreement,
+    check_decided,
+    check_firing_squad,
+    check_validity,
+    check_weak_validity,
+    differential_mismatches,
+    run_oracles,
+)
+from repro.runtime.engine import ExecutionResult
+from repro.runtime.metrics import MessageMetrics
+from repro.types import BOTTOM, SystemConfig
+
+
+def _result(
+    decisions,
+    inputs=None,
+    faulty=(),
+    rounds=3,
+    decision_rounds=None,
+    n=4,
+    t=1,
+):
+    config = SystemConfig(n=n, t=t)
+    inputs = inputs if inputs is not None else {
+        pid: 1 for pid in config.process_ids
+    }
+    correct = [pid for pid in config.process_ids if pid not in set(faulty)]
+    if decision_rounds is None:
+        decision_rounds = {
+            pid: (1 if not (
+                decisions.get(pid) is None or decisions.get(pid) is BOTTOM
+            ) else None)
+            for pid in correct
+        }
+    return ExecutionResult(
+        config=config,
+        inputs=inputs,
+        faulty_ids=frozenset(faulty),
+        rounds=rounds,
+        decisions={pid: decisions.get(pid, BOTTOM) for pid in correct},
+        decision_rounds=decision_rounds,
+        metrics=MessageMetrics(),
+        trace=None,
+        processes={pid: object() for pid in correct},
+    )
+
+
+class TestDecided:
+    def test_all_decided_clean(self):
+        result = _result({1: 1, 2: 1, 3: 1}, faulty=(4,))
+        assert check_decided(result) == []
+
+    def test_undecided_processor_reported(self):
+        result = _result({1: 1, 2: 1, 3: BOTTOM}, faulty=(4,))
+        violations = check_decided(result)
+        assert len(violations) == 1
+        assert "processor 3" in violations[0]
+
+
+class TestAgreement:
+    def test_common_decision_clean(self):
+        result = _result({1: 0, 2: 0, 3: 0}, faulty=(4,),
+                         inputs={1: 0, 2: 0, 3: 1, 4: 1})
+        assert check_agreement(result) == []
+
+    def test_split_decision_reported(self):
+        result = _result({1: 0, 2: 1, 3: 0}, faulty=(4,),
+                         inputs={1: 0, 2: 1, 3: 0, 4: 1})
+        violations = check_agreement(result)
+        assert violations and "agreement violated" in violations[0]
+
+
+class TestValidity:
+    def test_unanimous_input_decided_clean(self):
+        result = _result({1: 1, 2: 1, 3: 1}, faulty=(4,),
+                         inputs={1: 1, 2: 1, 3: 1, 4: 0})
+        assert check_validity(result) == []
+
+    def test_unanimous_input_overridden_reported(self):
+        result = _result({1: 0, 2: 0, 3: 0}, faulty=(4,),
+                         inputs={1: 1, 2: 1, 3: 1, 4: 0})
+        violations = check_validity(result)
+        assert violations and "validity violated" in violations[0]
+
+
+class TestWeakValidity:
+    def test_binding_only_when_fault_free(self):
+        under_faults = _result({1: 0, 2: 0, 3: 0}, faulty=(4,),
+                               inputs={1: 1, 2: 1, 3: 1, 4: 1})
+        assert check_weak_validity(under_faults) == []
+
+    def test_fault_free_unanimity_enforced(self):
+        result = _result({1: 0, 2: 0, 3: 0, 4: 0},
+                         inputs={1: 1, 2: 1, 3: 1, 4: 1})
+        violations = check_weak_validity(result)
+        assert violations and all("weak validity" in v for v in violations)
+
+
+class TestFiringSquad:
+    def test_simultaneous_fire_clean(self):
+        result = _result(
+            {1: "FIRE", 2: "FIRE", 3: "FIRE"},
+            faulty=(4,),
+            inputs={1: 1, 2: 1, 3: 1, 4: 1},
+            rounds=3,
+            decision_rounds={1: 2, 2: 2, 3: 2},
+        )
+        assert check_firing_squad(result) == []
+
+    def test_staggered_fire_reported(self):
+        result = _result(
+            {1: "FIRE", 2: "FIRE", 3: "FIRE"},
+            faulty=(4,),
+            inputs={1: 1, 2: 1, 3: 1, 4: 1},
+            rounds=3,
+            decision_rounds={1: 2, 2: 3, 3: 2},
+        )
+        violations = check_firing_squad(result)
+        assert violations and "simultaneity" in violations[0]
+
+    def test_fire_without_go_reported(self):
+        result = _result(
+            {1: "FIRE", 2: BOTTOM, 3: BOTTOM},
+            faulty=(4,),
+            inputs={1: BOTTOM, 2: BOTTOM, 3: BOTTOM, 4: BOTTOM},
+            rounds=3,
+            decision_rounds={1: 2, 2: None, 3: None},
+        )
+        violations = check_firing_squad(result)
+        assert any("safety" in violation for violation in violations)
+
+    def test_missed_deadline_reported(self):
+        # All correct GOs by round 1, t=1 => deadline 2; round 5 ended.
+        result = _result(
+            {1: "FIRE", 2: "FIRE", 3: BOTTOM},
+            faulty=(4,),
+            inputs={1: 1, 2: 1, 3: 1, 4: BOTTOM},
+            rounds=5,
+            decision_rounds={1: 2, 2: 2, 3: None},
+        )
+        violations = check_firing_squad(result)
+        assert any("liveness" in violation for violation in violations)
+
+
+class TestRunOracles:
+    def test_violations_are_name_prefixed(self):
+        result = _result({1: 1, 2: 1, 3: BOTTOM}, faulty=(4,))
+        violations = run_oracles(("decided",), result)
+        assert violations and violations[0].startswith("[decided] ")
+
+    def test_unknown_oracle_surfaces(self):
+        result = _result({1: 1, 2: 1, 3: 1}, faulty=(4,))
+        assert run_oracles(("no-such",), result) == [
+            "[no-such] unknown oracle"
+        ]
+
+
+class TestDifferential:
+    def _pair(self, reference_decisions, other_decisions, inputs, faulty=()):
+        return {
+            "compact-ba": _result(reference_decisions, inputs=inputs,
+                                  faulty=faulty),
+            "eig": _result(other_decisions, inputs=inputs, faulty=faulty),
+        }
+
+    def test_fault_free_equality_enforced(self):
+        runs = self._pair(
+            {1: 0, 2: 0, 3: 0, 4: 0},
+            {1: 0, 2: 0, 3: 1, 4: 0},
+            inputs={1: 0, 2: 0, 3: 1, 4: 0},
+        )
+        violations = differential_mismatches(runs)
+        assert any("fault-free divergence" in v for v in violations)
+
+    def test_unanimous_co_decision_enforced_under_faults(self):
+        runs = self._pair(
+            {1: 1, 2: 1, 3: 1},
+            {1: 1, 2: 0, 3: 1},
+            inputs={1: 1, 2: 1, 3: 1, 4: 0},
+            faulty=(4,),
+        )
+        violations = differential_mismatches(runs)
+        assert any("co-decision violated" in v for v in violations)
+
+    def test_mixed_inputs_under_faults_make_no_claim(self):
+        """The sound boundary: adaptive attacks may split the pair."""
+        runs = self._pair(
+            {1: 0, 2: 0, 3: 0},
+            {1: 1, 2: 1, 3: 1},
+            inputs={1: 0, 2: 1, 3: 0, 4: 1},
+            faulty=(4,),
+        )
+        assert differential_mismatches(runs) == []
+
+    def test_scenario_mismatch_is_a_campaign_bug(self):
+        runs = {
+            "compact-ba": _result({1: 0, 2: 0, 3: 0, 4: 0},
+                                  inputs={1: 0, 2: 0, 3: 0, 4: 0}),
+            "eig": _result({1: 0, 2: 0, 3: 0, 4: 0},
+                           inputs={1: 0, 2: 0, 3: 0, 4: 1}),
+        }
+        violations = differential_mismatches(runs)
+        assert any("scenario mismatch" in v for v in violations)
+
+    def test_single_member_group_is_vacuous(self):
+        runs = {"avalanche": _result({1: 1, 2: 1, 3: 1, 4: 1})}
+        assert differential_mismatches(runs) == []

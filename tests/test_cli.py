@@ -193,3 +193,57 @@ class TestBench:
         )
         assert code == 2
         assert "baseline" in out
+
+
+class TestFuzz:
+    def test_small_campaign_clean(self, capsys):
+        code, out = run_cli(
+            capsys, "fuzz", "--seed", "7", "--cases", "4",
+            "--protocol", "avalanche",
+        )
+        assert code == 0
+        assert "all oracles passed" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "fuzz", "--seed", "7", "--cases", "4",
+            "--protocol", "avalanche", "--format", "json",
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["seed"] == 7
+        assert report["executions"] == 4
+        assert report["failures"] == []
+
+    def test_replay_corpus_directory(self, capsys):
+        import pathlib
+
+        corpus = pathlib.Path(__file__).parent / "fuzz" / "corpus"
+        code, out = run_cli(capsys, "fuzz", "--replay", str(corpus))
+        assert code == 0
+        assert "0 still failing" in out
+
+    def test_replay_single_file(self, capsys):
+        import pathlib
+
+        corpus = pathlib.Path(__file__).parent / "fuzz" / "corpus"
+        case_file = sorted(corpus.glob("*.json"))[0]
+        code, out = run_cli(capsys, "fuzz", "--replay", str(case_file))
+        assert code == 0
+        assert "ok" in out
+
+    def test_replay_missing_path_exits_2(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "fuzz", "--replay", str(tmp_path / "nope")
+        )
+        assert code == 2
+
+    def test_unknown_protocol_exits_2(self, capsys):
+        code, out = run_cli(
+            capsys, "fuzz", "--seed", "0", "--cases", "1",
+            "--protocol", "no-such-protocol",
+        )
+        assert code == 2
+        assert "unknown fuzz protocol" in out
