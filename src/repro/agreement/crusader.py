@@ -29,6 +29,22 @@ from repro.runtime.node import Process, broadcast
 from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value, is_bottom
 
 
+#: Protoflow taint: values from ``incoming`` must pass a legality
+#: filter before they reach state or a payload (docs/statics.md).
+TAINT_SANITIZERS = {
+    "_scalar": (
+        "rejects BOTTOM, tuples and unhashable junk; what remains is a "
+        "hashable scalar the quorum count in round 2 can only decide "
+        "when n - t processors echoed it"
+    ),
+}
+
+#: Protoflow message-size bound (COM rule family).
+MESSAGE_BOUNDS = {
+    "CrusaderProcess": "constant",
+}
+
+
 class _SenderFaulty:
     """The crusader verdict "the sender is faulty"."""
 

@@ -43,6 +43,17 @@ from repro.runtime.node import Process, broadcast
 from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value, is_bottom
 
 
+#: Protoflow message-size bound (COM rule family).
+MESSAGE_BOUNDS = {
+    "FiringSquadProcess": (
+        "history",
+        "each live EIG instance relays its depth-r view; instances "
+        "retire after t + 1 rounds, so at most t + 1 run at once and "
+        "each is bounded by the EIG horizon, not an unbounded history",
+    ),
+}
+
+
 class _AgreementInstance:
     """One staggered EIG agreement instance, binary, simultaneous."""
 

@@ -42,6 +42,31 @@ from repro.runtime.node import Process, broadcast
 from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value, is_bottom
 
 
+#: Protoflow taint: the tally is the protocol's vote filter — illegal
+#: votes are discarded and the survivor is a quorum count's argmax.
+TAINT_SANITIZERS = {
+    "_tally": (
+        "discards non-scalar / unhashable / value_ok-rejected votes "
+        "and returns the most frequent legal survivor; every VAL "
+        "update and decision compares its count against an adoption "
+        "or decision quorum"
+    ),
+    "_vote_is_legal": (
+        "the per-vote legality predicate behind _tally; a vote it "
+        "accepts is a hashable scalar from the configured value space"
+    ),
+}
+
+#: Protoflow message-size bounds (COM rule family).
+MESSAGE_BOUNDS = {
+    "AvalancheProcess": (
+        "constant",
+        "the round message is VAL: one scalar vote (possibly BOTTOM), "
+        "never a collection",
+    ),
+}
+
+
 @dataclasses.dataclass(frozen=True)
 class Thresholds:
     """Vote quorums for one avalanche-style protocol.

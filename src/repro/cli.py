@@ -198,9 +198,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (json is the machine-readable schema)",
+        help="report format (json is the machine-readable schema, "
+        "sarif is SARIF 2.1.0 for code-scanning upload)",
     )
     lint.add_argument(
         "--root",
@@ -218,6 +219,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help="accept all current findings into the baseline file",
+    )
+    lint.add_argument(
+        "--certificates",
+        default=None,
+        metavar="PATH",
+        help="also write per-protocol closedness certificates (JSON) "
+        "to PATH",
     )
 
     fuzz = commands.add_parser(
@@ -522,7 +530,7 @@ def _command_lint(args):
     import pathlib
 
     from repro.statics.baseline import Baseline, write_baseline
-    from repro.statics.report import render_json, render_text
+    from repro.statics.report import render_json, render_sarif, render_text
     from repro.statics.runner import (
         collect_findings,
         default_package_root,
@@ -568,9 +576,24 @@ def _command_lint(args):
         )
 
     result = lint_tree(root, baseline)
-    rendered = (
-        render_json(result) if args.format == "json" else render_text(result)
-    )
+    if args.format == "json":
+        rendered = render_json(result)
+    elif args.format == "sarif":
+        rendered = render_sarif(result)
+    else:
+        rendered = render_text(result)
+    if args.certificates:
+        from repro.statics.flow.certificates import (
+            certify_tree,
+            render_certificates,
+        )
+
+        target = pathlib.Path(args.certificates)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            render_certificates(certify_tree(root, baseline)),
+            encoding="utf-8",
+        )
     return rendered, result.exit_code
 
 

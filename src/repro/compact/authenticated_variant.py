@@ -71,6 +71,37 @@ def _signed_payload(block: int, digest: str) -> Tuple:
     return ("auth-core", block, digest)
 
 
+#: Protoflow taint: received cores and certificates pass signature +
+#: shape + expandability validation before use (docs/statics.md).
+TAINT_SANITIZERS = {
+    "_learn_certificate": (
+        "verifies the owner's signature over (block, digest), checks "
+        "the CORE shape and that its references are already defined; "
+        "only then does the certificate enter the expansion"
+    ),
+    "_core_shape_ok": (
+        "structural legality of a received CORE: exact depth, exact "
+        "width n at every level, alphabet leaves or refs exactly where "
+        "the block structure requires them"
+    ),
+    "digest_of": (
+        "a 16-hex-digit sha256 commitment: constant size, collision "
+        "checked at learn(); relaying a digest relays no adversarial "
+        "content"
+    ),
+}
+
+#: Protoflow message-size bounds (COM rule family).
+MESSAGE_BOUNDS = {
+    "AuthCompactProcess": (
+        "linear",
+        "CORE depth is capped at the block length k (O(n^k) for "
+        "constant k) and each used certificate is attached exactly "
+        "once, drained through _attached — never the round history",
+    ),
+}
+
+
 class AuthExpansion:
     """Content-addressed expansion functions with used-key tracking."""
 

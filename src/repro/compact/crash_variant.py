@@ -158,6 +158,16 @@ class CrashExpansion:
         return not is_bottom(self.expand(boundary, array))
 
 
+#: Protoflow message-size bound (COM rule family).
+MESSAGE_BOUNDS = {
+    "CrashCompactProcess": (
+        "linear",
+        "the payload is a depth<=k CORE plus fresh patches drained "
+        "every round; nothing accumulates across blocks",
+    ),
+}
+
+
 class CrashCompactProcess(Process):
     """One processor of the benign-fault compact protocol."""
 

@@ -68,6 +68,20 @@ DecisionRule = Callable[[Any, int, ProcessId], Value]
 # of an already-settled instance at zero bits.
 
 
+#: Protoflow message-size bound (COM rule family): the whole point of
+#: the construction (Theorem 5) — CORE depth is capped by the block
+#: length, so per-round payloads stay polynomial while the *simulated*
+#: state is the full-information history.
+MESSAGE_BOUNDS = {
+    "CompactProcess": (
+        "linear",
+        "CORE depth is capped at k + overhead within a block and "
+        "rebased to references at block boundaries (O(n^k) for "
+        "constant k); avalanche votes are scalars",
+    ),
+}
+
+
 class CompactProcess(Process):
     """One processor of the compact full-information protocol."""
 

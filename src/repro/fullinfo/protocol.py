@@ -37,6 +37,38 @@ _REJECT = object()
 # returns a value or BOTTOM.
 DecisionRule = Callable[[Any, int, ProcessId], Value]
 
+#: Protoflow taint: both receive paths run every incoming message
+#: through a legality filter before it can enter STATE.
+TAINT_SANITIZERS = {
+    "_canonical_legal": (
+        "interned fast path: exact depth, exact width n at every "
+        "level, every leaf in the alphabet V — anything else is "
+        "replaced by the receiver's own previous state (Theorem 9 "
+        "Case 3)"
+    ),
+    "_is_legal_message": (
+        "plain-tuple path: validate_array checks the same shape and "
+        "alphabet-leaf conditions as the interned path"
+    ),
+}
+
+#: Protoflow message-size bounds (COM rule family).  ``history`` is
+#: the honest answer: Protocol 1 *is* the full-information baseline
+#: the compact construction (repro.compact, Theorem 5) exists to fix.
+MESSAGE_BOUNDS = {
+    "FullInformationProcess": (
+        "history",
+        "STATE is the depth-r view by definition; the exponential "
+        "growth is the paper's motivating problem, compacted by "
+        "repro.compact",
+    ),
+    "FullInformationAutomaton": (
+        "history",
+        "the Section 3.1 formalisation of the same protocol: "
+        "message() relays the entire state",
+    ),
+}
+
 
 class FullInformationProcess(Process):
     """One processor of Protocol 1 on the synchronous runtime."""

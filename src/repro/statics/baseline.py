@@ -21,6 +21,22 @@ from repro.statics.rules import RULES
 BASELINE_VERSION = 1
 
 
+def normalize_path(path: str) -> str:
+    """Repo-relative POSIX form of a baseline or finding path.
+
+    Baselines written on Windows (backslashes), from the repo root
+    (``src/repro/...``), or with a leading ``./`` all normalize to the
+    ``repro/...`` form findings use, so the same baseline file matches
+    on every platform and from every working directory.
+    """
+    normalized = path.replace("\\", "/")
+    while normalized.startswith("./"):
+        normalized = normalized[2:]
+    if normalized.startswith("src/repro/"):
+        normalized = normalized[len("src/") :]
+    return normalized
+
+
 @dataclasses.dataclass(frozen=True)
 class Suppression:
     """One accepted finding: rule + location identity + justification."""
@@ -39,39 +55,59 @@ class Suppression:
 class Baseline:
     """The set of accepted findings, with bookkeeping for staleness."""
 
-    def __init__(self, suppressions: Iterable[Suppression] = ()):
+    def __init__(
+        self,
+        suppressions: Iterable[Suppression] = (),
+        stale: Iterable[str] = (),
+    ):
         self._by_key: Dict[str, Suppression] = {}
         for suppression in suppressions:
             self._by_key[suppression.key] = suppression
         self._used: Dict[str, bool] = {key: False for key in self._by_key}
+        #: Warnings about entries that no longer parse against the
+        #: current rule set — carried (not raised) so an old baseline
+        #: keeps working across rule renames; see ``load``.
+        self.stale: List[str] = list(stale)
 
     @classmethod
     def load(cls, path: pathlib.Path) -> "Baseline":
-        """Parse a baseline file, validating rule ids and justifications."""
+        """Parse a baseline file, validating rule ids and justifications.
+
+        Entries naming a rule id the current protolint does not know
+        (typically written by a newer or older checkout) are skipped
+        with a warning on :attr:`stale` rather than rejected outright:
+        a stale entry cannot suppress anything, but it should not
+        brick every lint run until someone edits the file.  A missing
+        justification is still a hard error — that is a process
+        violation, not staleness.
+        """
         data = json.loads(path.read_text())
         if data.get("version") != BASELINE_VERSION:
             raise ValueError(
                 f"{path}: unsupported baseline version {data.get('version')!r}"
             )
         suppressions = []
+        stale: List[str] = []
         for raw in data.get("suppressions", []):
             suppression = Suppression(
                 rule=raw["rule"],
-                path=raw["path"],
+                path=normalize_path(raw["path"]),
                 symbol=raw["symbol"],
                 justification=raw.get("justification", ""),
             )
             if suppression.rule not in RULES:
-                raise ValueError(
-                    f"{path}: unknown rule id {suppression.rule!r}"
+                stale.append(
+                    f"{suppression.key}: unknown rule id "
+                    f"{suppression.rule!r} (stale entry ignored)"
                 )
+                continue
             if not suppression.justification.strip():
                 raise ValueError(
                     f"{path}: suppression {suppression.key} has no "
                     "justification"
                 )
             suppressions.append(suppression)
-        return cls(suppressions)
+        return cls(suppressions, stale=stale)
 
     def match(self, finding: Finding) -> Optional[Suppression]:
         """The suppression covering ``finding``, marking it used."""

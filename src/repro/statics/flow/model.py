@@ -1,0 +1,422 @@
+"""The project index: modules, classes, declarations, inheritance.
+
+protoflow is *inter*procedural, so before any dataflow runs it builds
+a whole-tree model: every module in the flow-scanned packages (plus
+the runtime/automaton base modules, indexed so inheritance resolves
+but never linted), every class with its import-resolved base names,
+and the two module-level declaration dictionaries the passes trust:
+
+``TAINT_SANITIZERS``
+    ``{"name": "justification"}`` — functions or methods in this
+    module whose return value counts as sanitized (majority votes,
+    threshold filters, legality checks).  Keys may be bare names or
+    ``Class.method``.
+
+``MESSAGE_BOUNDS``
+    ``{"ClassName": "constant" | ("bound", "justification")}`` — the
+    per-round payload bound each certified protocol claims.  The tuple
+    form is required whenever the declared bound is *below* what the
+    size interpreter infers (the justification names the invariant the
+    analysis cannot see, e.g. the compact protocol's depth cap).
+
+Class qualnames are canonicalized to the ``repro.`` namespace from the
+path below the scan root, so fixture trees (rooted anywhere) interoperate
+with ``from repro.runtime.node import Process`` imports.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+#: Packages whose protocol classes get the FLOW/COM/TAINT passes.
+FLOW_PACKAGES = ("core", "agreement", "avalanche", "compact", "fullinfo")
+
+#: Modules indexed for inheritance/binding resolution only (never linted).
+SUPPORT_MODULES = ("runtime/node.py",)
+
+#: The inheritance roots that make a class a certified protocol.
+PROCESS_ROOT = "repro.runtime.node.Process"
+AUTOMATON_ROOT = "repro.core.automaton.AutomatonProtocol"
+
+#: Sanitizers recognized project-wide without a per-module declaration.
+GLOBAL_SANITIZERS = ("eig_byzantine_decision",)
+
+
+@dataclasses.dataclass
+class BoundDecl:
+    """One parsed ``MESSAGE_BOUNDS`` entry."""
+
+    bound: str
+    justification: str
+    line: int
+
+
+@dataclasses.dataclass
+class SanitizerDecl:
+    """One parsed ``TAINT_SANITIZERS`` entry."""
+
+    justification: str
+    line: int
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class definition plus its import-resolved base names."""
+
+    name: str
+    qualname: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    bases: List[str]
+    methods: Dict[str, ast.FunctionDef] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def method(self, name: str) -> Optional[ast.FunctionDef]:
+        """The method ``name`` defined directly on this class."""
+        return self.methods.get(name)
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """One parsed module: AST, imports, classes, declarations."""
+
+    path: pathlib.Path
+    relative: str
+    qualname: str
+    tree: ast.Module
+    imports: Dict[str, str] = dataclasses.field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = dataclasses.field(default_factory=dict)
+    functions: Dict[str, ast.FunctionDef] = dataclasses.field(
+        default_factory=dict
+    )
+    sanitizers: Dict[str, SanitizerDecl] = dataclasses.field(
+        default_factory=dict
+    )
+    bounds: Dict[str, BoundDecl] = dataclasses.field(default_factory=dict)
+    malformed: List[Tuple[str, int, str]] = dataclasses.field(
+        default_factory=list
+    )
+
+    def sanitizer_names(self) -> FrozenSet[str]:
+        """Bare terminal names declared sanitizers in this module."""
+        names = {key.split(".")[-1] for key in self.sanitizers}
+        names.update(GLOBAL_SANITIZERS)
+        return frozenset(names)
+
+
+def _resolve_import_chain(
+    module: ModuleInfo, chain: List[str]
+) -> Optional[str]:
+    """``["node", "Process"]`` -> ``"repro.runtime.node.Process"``."""
+    if not chain:
+        return None
+    root = module.imports.get(chain[0])
+    if root is None:
+        return None
+    return ".".join([root] + chain[1:])
+
+
+def _parse_imports(tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return imports
+
+
+def _declaration_dict(
+    module: ModuleInfo, name: str
+) -> Optional[ast.Dict]:
+    for node in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                if isinstance(value, ast.Dict):
+                    return value
+                module.malformed.append(
+                    (name, node.lineno, f"{name} must be a dict literal")
+                )
+    return None
+
+
+def _parse_sanitizers(module: ModuleInfo) -> None:
+    literal = _declaration_dict(module, "TAINT_SANITIZERS")
+    if literal is None:
+        return
+    for key, value in zip(literal.keys, literal.values):
+        if not (
+            isinstance(key, ast.Constant) and isinstance(key.value, str)
+        ):
+            module.malformed.append(
+                ("TAINT_SANITIZERS", literal.lineno, "non-string key")
+            )
+            continue
+        line = key.lineno
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            module.sanitizers[key.value] = SanitizerDecl(value.value, line)
+        else:
+            module.sanitizers[key.value] = SanitizerDecl("", line)
+
+
+def _parse_bounds(module: ModuleInfo) -> None:
+    literal = _declaration_dict(module, "MESSAGE_BOUNDS")
+    if literal is None:
+        return
+    for key, value in zip(literal.keys, literal.values):
+        if not (
+            isinstance(key, ast.Constant) and isinstance(key.value, str)
+        ):
+            module.malformed.append(
+                ("MESSAGE_BOUNDS", literal.lineno, "non-string key")
+            )
+            continue
+        line = key.lineno
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            module.bounds[key.value] = BoundDecl(value.value, "", line)
+        elif (
+            isinstance(value, ast.Tuple)
+            and len(value.elts) == 2
+            and all(
+                isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                for elt in value.elts
+            )
+        ):
+            bound = value.elts[0]
+            justification = value.elts[1]
+            assert isinstance(bound, ast.Constant)
+            assert isinstance(justification, ast.Constant)
+            module.bounds[key.value] = BoundDecl(
+                str(bound.value), str(justification.value), line
+            )
+        else:
+            module.bounds[key.value] = BoundDecl("", "", line)
+            module.malformed.append(
+                (
+                    "MESSAGE_BOUNDS",
+                    line,
+                    f"entry {key.value!r} must map to a bound string or "
+                    "a (bound, justification) tuple of strings",
+                )
+            )
+
+
+def _index_module(
+    path: pathlib.Path, relative: str, qualname: str
+) -> ModuleInfo:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    module = ModuleInfo(
+        path=path, relative=relative, qualname=qualname, tree=tree
+    )
+    module.imports = _parse_imports(tree)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            module.functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            bases: List[str] = []
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    if base.id in module.imports:
+                        bases.append(module.imports[base.id])
+                    else:
+                        bases.append(f"{qualname}.{base.id}")
+                elif isinstance(base, ast.Attribute):
+                    chain: List[str] = []
+                    current: ast.expr = base
+                    while isinstance(current, ast.Attribute):
+                        chain.append(current.attr)
+                        current = current.value
+                    if isinstance(current, ast.Name):
+                        chain.append(current.id)
+                        chain.reverse()
+                        resolved = _resolve_import_chain(module, chain)
+                        bases.append(resolved or ".".join(chain))
+            info = ClassInfo(
+                name=node.name,
+                qualname=f"{qualname}.{node.name}",
+                module=module,
+                node=node,
+                bases=bases,
+            )
+            for child in node.body:
+                if isinstance(child, ast.FunctionDef):
+                    info.methods[child.name] = child
+            module.classes[node.name] = info
+    _parse_sanitizers(module)
+    _parse_bounds(module)
+    return module
+
+
+class ProjectIndex:
+    """Every indexed module and class, with inheritance resolution."""
+
+    def __init__(self, package_root: pathlib.Path):
+        self.package_root = package_root
+        self.prefix = package_root.name
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.linted: List[ModuleInfo] = []
+        for package in FLOW_PACKAGES:
+            directory = package_root / package
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.rglob("*.py")):
+                module = self._add(path)
+                if module is not None:
+                    self.linted.append(module)
+        for support in SUPPORT_MODULES:
+            path = package_root / support
+            if path.is_file():
+                self._add(path)
+
+    def _add(self, path: pathlib.Path) -> Optional[ModuleInfo]:
+        subpath = path.relative_to(self.package_root).as_posix()
+        relative = f"{self.prefix}/{subpath}"
+        qualname = "repro." + subpath[: -len(".py")].replace("/", ".")
+        qualname = qualname.replace(".__init__", "")
+        try:
+            module = _index_module(path, relative, qualname)
+        except SyntaxError:
+            return None
+        self.modules[relative] = module
+        for info in module.classes.values():
+            self.classes[info.qualname] = info
+        return module
+
+    # -- inheritance --------------------------------------------------------
+
+    def is_subclass(self, info: ClassInfo, root: str) -> bool:
+        """Whether ``info`` transitively derives from qualname ``root``."""
+        seen: Set[str] = set()
+        frontier = list(info.bases)
+        while frontier:
+            base = frontier.pop()
+            if base in seen:
+                continue
+            seen.add(base)
+            if base == root:
+                return True
+            parent = self.classes.get(base)
+            if parent is not None:
+                frontier.extend(parent.bases)
+        return False
+
+    def mro(self, info: ClassInfo) -> List[ClassInfo]:
+        """``info`` plus every indexed ancestor, nearest first."""
+        out: List[ClassInfo] = []
+        seen: Set[str] = set()
+        frontier = [info]
+        while frontier:
+            current = frontier.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            out.append(current)
+            for base in current.bases:
+                parent = self.classes.get(base)
+                if parent is not None:
+                    frontier.append(parent)
+        return out
+
+    def find_method(
+        self, info: ClassInfo, name: str
+    ) -> Optional[Tuple[ClassInfo, ast.FunctionDef]]:
+        """``name`` resolved along the indexed inheritance chain."""
+        for cls in self.mro(info):
+            method = cls.method(name)
+            if method is not None:
+                return cls, method
+        return None
+
+    def resolve_class(
+        self, module: ModuleInfo, func: ast.expr
+    ) -> Optional[ClassInfo]:
+        """The ClassInfo a constructor expression refers to, if indexed."""
+        name: Optional[str] = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is None:
+            return None
+        if name in module.classes:
+            return module.classes[name]
+        qualified = module.imports.get(name)
+        if qualified is not None and qualified in self.classes:
+            return self.classes[qualified]
+        # Same class name anywhere in the indexed tree (factories often
+        # construct classes imported under ``if TYPE_CHECKING`` guards).
+        candidates = [
+            info
+            for info in self.classes.values()
+            if info.name == name
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # -- certified protocols -------------------------------------------------
+
+    def certified(self) -> List[ClassInfo]:
+        """Every protocol class the certificate covers, sorted.
+
+        A class is certified when it is a concrete :class:`Process`
+        subclass (defines or inherits an ``outgoing`` implementation
+        from an indexed ancestor) or an ``AutomatonProtocol`` subclass
+        defining ``message``.
+        """
+        out: List[ClassInfo] = []
+        for info in self.classes.values():
+            if info.module not in self.linted:
+                continue
+            if self.is_subclass(info, PROCESS_ROOT):
+                found = self.find_method(info, "outgoing")
+                if found is not None and not _is_abstract(found[1]):
+                    out.append(info)
+            elif self.is_subclass(info, AUTOMATON_ROOT):
+                found = self.find_method(info, "message")
+                if found is not None and not _is_abstract(found[1]):
+                    out.append(info)
+        return sorted(out, key=lambda info: info.qualname)
+
+    def kind_of(self, info: ClassInfo) -> str:
+        """``"process"`` or ``"automaton"`` for a certified class."""
+        if self.is_subclass(info, PROCESS_ROOT):
+            return "process"
+        return "automaton"
+
+
+def _is_abstract(method: ast.FunctionDef) -> bool:
+    for decorator in method.decorator_list:
+        name = None
+        if isinstance(decorator, ast.Name):
+            name = decorator.id
+        elif isinstance(decorator, ast.Attribute):
+            name = decorator.attr
+        if name in ("abstractmethod", "abstractproperty"):
+            return True
+    body = [
+        stmt
+        for stmt in method.body
+        if not (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+        )
+    ]
+    return len(body) == 1 and isinstance(body[0], ast.Raise)

@@ -1,0 +1,404 @@
+"""Orchestration of the FLOW / COM / TAINT passes over a tree.
+
+``analyze_tree`` builds the project index once, then produces one
+:class:`ProtocolReport` per certified class (every concrete ``Process``
+subclass and every ``AutomatonProtocol`` implementation in the flow
+packages) plus the declaration-validation findings for each module.
+``run_flow_pass`` flattens that into the finding list ``repro lint``
+merges with the other passes; ``certificates.py`` consumes the same
+reports to emit the per-protocol certificate file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+from typing import Dict, List, Optional, Set
+
+from repro.statics.findings import Finding
+from repro.statics.flow.closedness import analyze_flow
+from repro.statics.flow.engine import Instance, TaintInterpreter, TaintReport
+from repro.statics.flow.lattice import SIZE_NAMES, Size, Taint, size_name
+from repro.statics.flow.model import (
+    BoundDecl,
+    ClassInfo,
+    ModuleInfo,
+    ProjectIndex,
+)
+from repro.statics.flow.rules import COM001, COM002, COM003, TAINT002, TAINT003
+from repro.statics.flow.sizes import SizeAnalyzer, SizeSummary
+
+_FIXPOINT_LIMIT = 8
+
+
+@dataclasses.dataclass
+class ProtocolReport:
+    """Everything the three passes concluded about one protocol class."""
+
+    cls: ClassInfo
+    kind: str
+    structure: str
+    flow_findings: List[Finding]
+    taint_findings: List[Finding]
+    com_findings: List[Finding]
+    sanitizers_used: List[str]
+    inferred_bound: Size
+    declared: Optional[BoundDecl]
+
+    @property
+    def findings(self) -> List[Finding]:
+        return sorted(
+            self.flow_findings + self.taint_findings + self.com_findings
+        )
+
+
+@dataclasses.dataclass
+class FlowAnalysis:
+    """The whole-tree result: per-protocol reports + module findings."""
+
+    reports: List[ProtocolReport]
+    module_findings: List[Finding]
+
+    @property
+    def findings(self) -> List[Finding]:
+        out = set(self.module_findings)
+        # Deduped: an inherited method (e.g. an automaton subclassing
+        # FullInformationAutomaton) reports at the ancestor's location
+        # from every subclass's report.
+        for report in self.reports:
+            out.update(report.findings)
+        return sorted(out)
+
+
+def analyze_tree(package_root: pathlib.Path) -> FlowAnalysis:
+    """Run protoflow over the tree rooted at ``package_root``."""
+    index = ProjectIndex(package_root)
+    certified = index.certified()
+    certified_names: Dict[str, Set[str]] = {}
+    for info in certified:
+        certified_names.setdefault(info.module.relative, set()).add(
+            info.name
+        )
+    sizes = SizeAnalyzer(index)
+    reports = [
+        _analyze_protocol(index, sizes, info) for info in certified
+    ]
+    module_findings: List[Finding] = []
+    for module in index.linted:
+        module_findings.extend(
+            _validate_declarations(
+                module, certified_names.get(module.relative, set())
+            )
+        )
+    return FlowAnalysis(reports=reports, module_findings=module_findings)
+
+
+def run_flow_pass(package_root: pathlib.Path) -> List[Finding]:
+    """The finding list ``collect_findings`` merges with other passes."""
+    return analyze_tree(package_root).findings
+
+
+# -- per-protocol analysis ---------------------------------------------------
+
+
+def _analyze_protocol(
+    index: ProjectIndex, sizes: SizeAnalyzer, info: ClassInfo
+) -> ProtocolReport:
+    kind = index.kind_of(info)
+    if kind == "process":
+        flow = analyze_flow(index, info)
+        flow_findings, structure = flow.findings, flow.structure
+        taint = _taint_process(index, info)
+        summary = sizes.analyze_process(info)
+    else:
+        flow_findings, structure = [], "automaton"
+        taint = _taint_automaton(index, info)
+        summary = sizes.analyze_automaton(info)
+    declared = info.module.bounds.get(info.name)
+    com_findings = _check_bounds(info, summary, declared)
+    return ProtocolReport(
+        cls=info,
+        kind=kind,
+        structure=structure,
+        flow_findings=sorted(set(flow_findings)),
+        taint_findings=sorted(set(taint.findings)),
+        com_findings=sorted(set(com_findings)),
+        sanitizers_used=sorted(taint.sanitizers_used),
+        inferred_bound=summary.inferred,
+        declared=declared,
+    )
+
+
+def _taint_process(index: ProjectIndex, info: ClassInfo) -> TaintReport:
+    warm = TaintInterpreter(index, reporting=False)
+    inst = warm.instantiate(info)
+    receive_args = [Taint.CLEAN, Taint.RAW]
+    for _ in range(_FIXPOINT_LIMIT):
+        before = inst.snapshot()
+        warm.run_method(inst, "receive", receive_args)
+        if inst.snapshot() == before:
+            break
+    reporter = TaintInterpreter(index, reporting=True)
+    reporter.run_method(inst, "receive", receive_args)
+    _check_payload(reporter, index, inst.cls, inst, "outgoing", [Taint.CLEAN])
+    reporter.report.sanitizers_used |= warm.report.sanitizers_used
+    return reporter.report
+
+
+def _taint_automaton(index: ProjectIndex, info: ClassInfo) -> TaintReport:
+    warm = TaintInterpreter(index, reporting=False)
+    inst = warm.instantiate(info)
+    state_taint, _ = warm.run_method(
+        inst, "transition", [Taint.CLEAN, Taint.RAW]
+    )
+    reporter = TaintInterpreter(index, reporting=True)
+    reporter.run_method(inst, "transition", [Taint.CLEAN, Taint.RAW])
+    _check_payload(
+        reporter, index, info, inst, "message",
+        [Taint.CLEAN, Taint.CLEAN, state_taint],
+    )
+    _check_decision(reporter, index, info, inst, state_taint)
+    reporter.report.sanitizers_used |= warm.report.sanitizers_used
+    return reporter.report
+
+
+def _check_payload(
+    reporter: TaintInterpreter,
+    index: ProjectIndex,
+    info: ClassInfo,
+    inst: Instance,
+    method_name: str,
+    args: List[Taint],
+) -> None:
+    _, sites = reporter.run_method(inst, method_name, args)
+    found = index.find_method(info, method_name)
+    if found is None:
+        return
+    owner, _ = found
+    for node, taint in sites:
+        if taint is Taint.RAW:
+            reporter.report.findings.append(
+                Finding(
+                    path=owner.module.relative,
+                    line=getattr(node, "lineno", owner.node.lineno),
+                    col=getattr(node, "col_offset", 0),
+                    rule=TAINT002.id,
+                    symbol=f"{owner.name}.{method_name}",
+                    message=(
+                        "outgoing payload carries a value derived from "
+                        "receive() that never passed a recognized "
+                        "sanitizer — a faulty sender's bytes would be "
+                        "relayed verbatim"
+                    ),
+                )
+            )
+    reporter.report.payload_taint = max(
+        reporter.report.payload_taint,
+        max((taint for _, taint in sites), default=Taint.CLEAN),
+    )
+
+
+def _check_decision(
+    reporter: TaintInterpreter,
+    index: ProjectIndex,
+    info: ClassInfo,
+    inst: Instance,
+    state_taint: Taint,
+) -> None:
+    from repro.statics.flow.rules import TAINT001
+
+    _, sites = reporter.run_method(
+        inst, "decision", [Taint.CLEAN, state_taint]
+    )
+    found = index.find_method(info, "decision")
+    if found is None:
+        return
+    owner, _ = found
+    for node, taint in sites:
+        if taint is Taint.RAW:
+            reporter.report.decision_taint = Taint.RAW
+            reporter.report.findings.append(
+                Finding(
+                    path=owner.module.relative,
+                    line=getattr(node, "lineno", owner.node.lineno),
+                    col=getattr(node, "col_offset", 0),
+                    rule=TAINT001.id,
+                    symbol=f"{owner.name}.decision",
+                    message=(
+                        "gamma_p returns a value derived from the "
+                        "message tuple that never passed a recognized "
+                        "sanitizer (majority/threshold/legality filter)"
+                    ),
+                )
+            )
+
+
+# -- COM: declared vs inferred bounds ----------------------------------------
+
+
+def _check_bounds(
+    info: ClassInfo,
+    summary: SizeSummary,
+    declared: Optional[BoundDecl],
+) -> List[Finding]:
+    findings: List[Finding] = []
+    path = info.module.relative
+    if declared is None:
+        findings.append(
+            Finding(
+                path=path,
+                line=info.node.lineno,
+                col=info.node.col_offset,
+                rule=COM003.id,
+                symbol=info.name,
+                message=(
+                    f"certified protocol {info.name} has no "
+                    "MESSAGE_BOUNDS entry; declare its per-round payload "
+                    "bound ('constant', 'linear', or 'history' with a "
+                    "justification)"
+                ),
+            )
+        )
+        return findings
+    if declared.bound not in SIZE_NAMES:
+        findings.append(
+            Finding(
+                path=path,
+                line=declared.line,
+                col=0,
+                rule=COM003.id,
+                symbol=info.name,
+                message=(
+                    f"MESSAGE_BOUNDS entry for {info.name} declares "
+                    f"unknown bound {declared.bound!r}; expected "
+                    "'constant', 'linear', or 'history'"
+                ),
+            )
+        )
+        return findings
+    declared_size = SIZE_NAMES[declared.bound]
+    if declared_size < summary.inferred and not declared.justification:
+        findings.append(
+            Finding(
+                path=path,
+                line=declared.line,
+                col=0,
+                rule=COM002.id,
+                symbol=info.name,
+                message=(
+                    f"MESSAGE_BOUNDS declares {declared.bound!r} but the "
+                    f"size interpreter infers "
+                    f"{size_name(summary.inferred)!r} (accumulating: "
+                    f"{sorted(summary.accumulating) or 'none'}); add the "
+                    "(bound, justification) form naming the invariant — "
+                    "e.g. a MessageSizer ceiling or depth cap — the "
+                    "analysis cannot see"
+                ),
+            )
+        )
+    if (
+        summary.inferred is Size.HISTORY
+        and declared_size is Size.HISTORY
+        and not declared.justification
+    ):
+        findings.append(
+            Finding(
+                path=path,
+                line=declared.line,
+                col=0,
+                rule=COM001.id,
+                symbol=info.name,
+                message=(
+                    f"{info.name} sends history-accumulating payloads; "
+                    "route it through repro.compact (Theorem 5) or "
+                    "justify why full-information growth is intended"
+                ),
+            )
+        )
+    return findings
+
+
+# -- declaration validation --------------------------------------------------
+
+
+def _validate_declarations(
+    module: ModuleInfo, certified_names: Set[str]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for declaration, line, problem in module.malformed:
+        findings.append(
+            Finding(
+                path=module.relative,
+                line=line,
+                col=0,
+                rule=(
+                    TAINT003.id
+                    if declaration == "TAINT_SANITIZERS"
+                    else COM003.id
+                ),
+                symbol="<module>",
+                message=f"malformed {declaration} declaration: {problem}",
+            )
+        )
+    method_names = {
+        f"{cls.name}.{name}"
+        for cls in module.classes.values()
+        for name in cls.methods
+    }
+    bare_methods = {
+        name for cls in module.classes.values() for name in cls.methods
+    }
+    for key, decl in sorted(module.sanitizers.items()):
+        exists = (
+            key in module.functions
+            or key in method_names
+            or key in bare_methods
+            or key in module.imports
+        )
+        if not exists:
+            findings.append(
+                Finding(
+                    path=module.relative,
+                    line=decl.line,
+                    col=0,
+                    rule=TAINT003.id,
+                    symbol="<module>",
+                    message=(
+                        f"TAINT_SANITIZERS names {key!r}, which this "
+                        "module does not define — dead entries would "
+                        "silently launder adversarial data"
+                    ),
+                )
+            )
+        elif not decl.justification.strip():
+            findings.append(
+                Finding(
+                    path=module.relative,
+                    line=decl.line,
+                    col=0,
+                    rule=TAINT003.id,
+                    symbol="<module>",
+                    message=(
+                        f"TAINT_SANITIZERS entry {key!r} has no "
+                        "justification; state why its output is safe "
+                        "against Byzantine inputs"
+                    ),
+                )
+            )
+    for key, bound in sorted(module.bounds.items()):
+        if key not in certified_names:
+            findings.append(
+                Finding(
+                    path=module.relative,
+                    line=bound.line,
+                    col=0,
+                    rule=COM003.id,
+                    symbol="<module>",
+                    message=(
+                        f"MESSAGE_BOUNDS names {key!r}, which is not a "
+                        "certified protocol class in this module — "
+                        "remove the dead entry"
+                    ),
+                )
+            )
+    return findings

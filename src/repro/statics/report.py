@@ -1,18 +1,28 @@
-"""Text and JSON rendering of lint results."""
+"""Text, JSON, and SARIF rendering of lint results."""
 
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Dict, List
 
 from repro.statics.rules import RULES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.statics.findings import Finding
     from repro.statics.runner import LintResult
 
 #: Bumped whenever the JSON schema changes shape; consumers should
-#: reject versions they do not know.
-JSON_SCHEMA_VERSION = 1
+#: reject versions they do not know.  Version 2 added
+#: ``stale_suppressions`` (baseline entries naming unknown rule ids,
+#: carried as warnings instead of load errors).
+JSON_SCHEMA_VERSION = 2
+
+#: The SARIF spec version the ``sarif`` format emits.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: "LintResult") -> str:
@@ -30,6 +40,8 @@ def render_text(result: "LintResult") -> str:
             f"warning: baseline entry {suppression.key} matched nothing "
             "— delete it"
         )
+    for stale in result.stale_suppressions:
+        lines.append(f"warning: stale baseline entry {stale}")
     count = len(result.findings)
     suppressed = len(result.suppressed)
     if count:
@@ -53,6 +65,77 @@ def render_json(result: "LintResult") -> str:
             ],
             "unused_suppressions": [
                 suppression.key for suppression in result.unused_suppressions
+            ],
+            "stale_suppressions": list(result.stale_suppressions),
+        },
+        indent=2,
+    )
+
+
+def _sarif_result(finding: "Finding", suppressed: bool) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": f"{finding.message} (in {finding.symbol})"},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def render_sarif(result: "LintResult") -> str:
+    """SARIF 2.1.0 report, for code-scanning upload and CI artifacts.
+
+    Baseline-suppressed findings are included with an ``external``
+    suppression (the SARIF term for "accepted outside the source"),
+    so scanners show them as reviewed rather than new.
+    """
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": rule.id,
+            "name": rule.title,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in sorted(RULES.values(), key=lambda rule: rule.id)
+    ]
+    results = [
+        _sarif_result(finding, suppressed=False)
+        for finding in result.findings
+    ]
+    results.extend(
+        _sarif_result(finding, suppressed=True)
+        for finding in result.suppressed
+    )
+    return json.dumps(
+        {
+            "$schema": SARIF_SCHEMA,
+            "version": SARIF_VERSION,
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "protolint",
+                            "informationUri": (
+                                "https://example.invalid/docs/statics.md"
+                            ),
+                            "rules": rules,
+                        }
+                    },
+                    "results": results,
+                }
             ],
         },
         indent=2,

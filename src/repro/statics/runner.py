@@ -19,6 +19,7 @@ from repro.statics.baseline import Baseline, Suppression
 from repro.statics.contracts import run_contract_pass
 from repro.statics.determinism import run_determinism_pass
 from repro.statics.findings import Finding
+from repro.statics.flow import run_flow_pass
 from repro.statics.purity import run_purity_pass
 
 #: The packages whose files get the determinism and purity passes.
@@ -67,6 +68,7 @@ class LintResult:
     findings: List[Finding]
     suppressed: List[Finding]
     unused_suppressions: List[Suppression]
+    stale_suppressions: List[str] = dataclasses.field(default_factory=list)
 
     @property
     def exit_code(self) -> int:
@@ -92,7 +94,7 @@ def collect_findings(package_root: pathlib.Path) -> List[Finding]:
         if not directory.is_dir():
             continue
         for path in sorted(directory.rglob("*.py")):
-            relative = f"{prefix}/{path.relative_to(package_root)}"
+            relative = f"{prefix}/{path.relative_to(package_root).as_posix()}"
             source = path.read_text()
             if path not in clock_paths:
                 findings.extend(run_determinism_pass(source, relative))
@@ -111,6 +113,7 @@ def collect_findings(package_root: pathlib.Path) -> List[Finding]:
             run_purity_pass(path.read_text(), relative, all_functions=True)
         )
     findings.extend(run_contract_pass(package_root))
+    findings.extend(run_flow_pass(package_root))
     return sorted(findings)
 
 
@@ -134,6 +137,7 @@ def lint_tree(
         findings=actionable,
         suppressed=suppressed,
         unused_suppressions=baseline.unused(),
+        stale_suppressions=list(baseline.stale),
     )
 
 

@@ -1,0 +1,58 @@
+"""Deliberately non-canonical fixture: violates the COM rule family.
+
+``ChattyProcess`` broadcasts its whole reception log every round while
+declaring a ``constant`` bound with no justification (COM002);
+``UndeclaredProcess`` is a certified protocol with no MESSAGE_BOUNDS
+entry at all (COM003).  Flow and taint are kept clean.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.runtime.node import Process
+from repro.types import ProcessId, Round, SystemConfig, Value
+
+TAINT_SANITIZERS = {
+    "_legal": "maps any received object onto the binary alphabet",
+}
+
+MESSAGE_BOUNDS = {"ChattyProcess": "constant"}
+
+
+def _legal(value: Any) -> int:
+    return 1 if value == 1 else 0
+
+
+class ChattyProcess(Process):
+    """Accumulates every reception and rebroadcasts the full log."""
+
+    def __init__(
+        self, process_id: ProcessId, config: SystemConfig, input_value: Value
+    ):
+        super().__init__(process_id, config)
+        self.log: List[int] = [_legal(input_value)]
+
+    def outgoing(self, round_number: Round) -> Dict[ProcessId, Any]:
+        payload = tuple(self.log)
+        return {pid: payload for pid in self.config.process_ids}
+
+    def receive(self, round_number: Round, incoming: Dict[ProcessId, Any]) -> None:
+        for sender in self.config.process_ids:
+            self.log.append(_legal(incoming[sender]))
+
+
+class UndeclaredProcess(Process):
+    """Constant-size sender that never declared its bound."""
+
+    def __init__(
+        self, process_id: ProcessId, config: SystemConfig, input_value: Value
+    ):
+        super().__init__(process_id, config)
+        self.value = _legal(input_value)
+
+    def outgoing(self, round_number: Round) -> Dict[ProcessId, Any]:
+        return {pid: self.value for pid in self.config.process_ids}
+
+    def receive(self, round_number: Round, incoming: Dict[ProcessId, Any]) -> None:
+        return None

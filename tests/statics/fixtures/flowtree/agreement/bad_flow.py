@@ -1,0 +1,44 @@
+"""Deliberately non-canonical fixture: violates every FLOW rule.
+
+``outgoing`` mutates state (FLOW003) and reads an attribute nothing
+ever writes (FLOW002); ``receive`` captures the raw incoming map into
+persistent state (FLOW001).  Taint and size are kept clean so the
+fixture exercises exactly the closedness pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.runtime.node import Process
+from repro.types import ProcessId, Round, SystemConfig, Value
+
+TAINT_SANITIZERS = {
+    "_clip": "clamps any received object to the binary alphabet",
+}
+
+MESSAGE_BOUNDS = {"UnclosedProcess": "constant"}
+
+
+def _clip(value: Any) -> int:
+    return 1 if value == 1 else 0
+
+
+class UnclosedProcess(Process):
+    """Breaks communication-closedness in all three checkable ways."""
+
+    def __init__(
+        self, process_id: ProcessId, config: SystemConfig, input_value: Value
+    ):
+        super().__init__(process_id, config)
+        self.value = _clip(input_value)
+        self.sent_log: list = []
+
+    def outgoing(self, round_number: Round) -> Dict[ProcessId, Any]:
+        self.sent_log.append(round_number)
+        payload = (self.value, self.late_hint)
+        return {pid: payload for pid in self.config.process_ids}
+
+    def receive(self, round_number: Round, incoming: Dict[ProcessId, Any]) -> None:
+        self.history = incoming
+        self.value = _clip(incoming[self.config.process_ids[0]])

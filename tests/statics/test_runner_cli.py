@@ -38,10 +38,16 @@ class TestRealTree:
         assert result.unused_suppressions == []
 
     def test_every_suppression_still_matches_a_real_finding(self):
+        # Several findings can share one suppression key (a drain
+        # method with multiple flagged writes), so compare key sets,
+        # not counts.
         result = lint_tree(PACKAGE_ROOT, Baseline.load(BASELINE))
-        assert len(result.suppressed) == len(
-            json.loads(BASELINE.read_text())["suppressions"]
-        )
+        suppressed_keys = {f.suppression_key for f in result.suppressed}
+        baseline_keys = {
+            f"{e['rule']}:{e['path']}:{e['symbol']}"
+            for e in json.loads(BASELINE.read_text())["suppressions"]
+        }
+        assert suppressed_keys == baseline_keys
 
     def test_arrays_kernel_is_registered(self):
         from repro.statics.runner import PROTOCOL_PACKAGES, WORKER_MODULES
@@ -65,7 +71,8 @@ class TestFixtureTree:
         )
         assert code == 1
         report = json.loads(out)
-        assert report["version"] == 1
+        assert report["version"] == 2
+        assert report["stale_suppressions"] == []
         assert report["findings"], "fixture tree must produce findings"
         for finding in report["findings"]:
             assert set(finding) == {
@@ -76,7 +83,9 @@ class TestFixtureTree:
                 "symbol",
                 "message",
             }
-            assert finding["rule"][:3] in ("DET", "PUR", "CON")
+            assert finding["rule"].rstrip("0123456789") in (
+                "DET", "PUR", "CON", "FLOW", "COM", "TAINT",
+            )
             assert finding["line"] >= 1
         rules = {finding["rule"] for finding in report["findings"]}
         assert {"DET001", "DET004", "PUR003", "CON001"} <= rules
@@ -123,7 +132,11 @@ class TestErrorHandling:
         assert code == 2
         assert "error" in out
 
-    def test_unknown_rule_in_baseline_exits_two(self, capsys, tmp_path):
+    def test_unknown_rule_in_baseline_warns_but_does_not_fail(
+        self, capsys, tmp_path
+    ):
+        # A stale entry (rule id from another checkout) is skipped
+        # with a warning, not a load error — see docs/statics.md.
         bad = tmp_path / "baseline.json"
         bad.write_text(
             json.dumps(
@@ -143,8 +156,9 @@ class TestErrorHandling:
         code, out = run_lint(
             capsys, "--root", str(FIXTURE_TREE), "--baseline", str(bad)
         )
-        assert code == 2
-        assert "unknown rule" in out
+        assert code == 1  # the planted findings still fail the run
+        assert "stale baseline entry" in out
+        assert "unknown rule id 'NOPE99'" in out
 
     def test_missing_justification_is_rejected(self, tmp_path):
         bad = tmp_path / "baseline.json"
