@@ -289,12 +289,169 @@ def bench_fullinfo_deep(quick: bool, workers: int) -> SuiteResult:
     )
 
 
+def bench_kernel(quick: bool, workers: int) -> SuiteResult:
+    """Kernel primitives, measured under *both* kernels back to back.
+
+    Times the four hot primitives the flat kernel accelerates — intern,
+    sizer measurement, EIG decision, expansion — on identical inputs
+    under ``python`` and then ``flat``, so kernel wins are tracked
+    independently of the end-to-end suites.  ``errors`` counts
+    cross-kernel result mismatches: a nonzero value is a correctness
+    alarm, never noise.  ``workers`` is ignored (the primitives are
+    single-process by construction).
+    """
+    from repro.arrays import flat as _flat
+    from repro.arrays.encoding import MessageSizer
+    from repro.arrays.store import ArrayStore
+    from repro.compact.expansion import ExpansionState
+    from repro.fullinfo.decision import eig_byzantine_decision
+    from repro.types import BOTTOM
+
+    n = 4 if quick else 7
+    t = (n - 1) // 3
+    deep = 3 if quick else 4
+    repeats = 3 if quick else 8
+    passes = 2 if quick else 4
+    scans = 2 if quick else 6
+    config = SystemConfig(n=n, t=t)
+    alphabet = (0, 1)
+
+    def value_tree(depth: int, index: int, pattern: int) -> Any:
+        # Deterministic mixed trees; every third pattern plants one
+        # out-of-alphabet leaf so the undefined paths get exercised.
+        if depth == 0:
+            if pattern % 3 == 2 and index == 0:
+                return "garbage"
+            return (index + pattern) % 2
+        return tuple(
+            value_tree(depth - 1, index * n + child, pattern)
+            for child in range(n)
+        )
+
+    def index_tree(index: int, pattern: int) -> Any:
+        return tuple(
+            tuple(
+                ((index + pattern + child + inner) % n) + 1
+                for inner in range(n)
+            )
+            for child in range(n)
+        )
+
+    walls: Dict[str, float] = {}
+    outcomes: Dict[str, Tuple[Any, ...]] = {}
+    operations = 0
+    for kernel in ("python", "flat"):
+        store = ArrayStore(n)
+        measured: List[int] = []
+        decisions: List[Any] = []
+        identity: List[bool] = []
+        substituted: List[Any] = []
+        operations = 0
+        with _flat.use_kernel(kernel):
+            # Untimed warmup: first-call costs (numpy dispatch, the
+            # memoised chain topology) belong to process startup, not
+            # to the steady-state primitives this suite tracks.
+            warm = store.intern(value_tree(t + 1, 0, 0))
+            MessageSizer(len(alphabet), n).measure(warm)
+            eig_byzantine_decision(warm, n, t, 1, default=0, alphabet=alphabet)
+            ExpansionState(config, alphabet, store=store).expand(1, warm)
+            start = time.perf_counter()
+            # Each pass interns fresh trees but reuses the store, and
+            # builds fresh policy objects (sizer, expansion state) over
+            # it — the shape of a sweep, where per-execution objects
+            # come and go while the interned DAG persists.
+            for pass_index in range(passes):
+                base = pass_index * repeats + 1
+                deep_states = [
+                    store.intern(value_tree(deep, 0, base + index))
+                    for index in range(repeats)
+                ]
+                decision_states = [
+                    store.intern(value_tree(t + 1, 0, base + index))
+                    for index in range(repeats)
+                ]
+                index_states = [
+                    store.intern(index_tree(0, base + index))
+                    for index in range(repeats)
+                ]
+                # The scan primitives run `scans` times over the fresh
+                # nodes, each time through new policy objects: interning
+                # is a once-per-node cost in a sweep, scanning is
+                # per-execution, so the weighting mirrors the hot path.
+                for _ in range(scans):
+                    sizer = MessageSizer(len(alphabet), n)
+                    measured.extend(
+                        sizer.measure(state) for state in deep_states
+                    )
+                    decisions.extend(
+                        eig_byzantine_decision(
+                            state, n, t, 1, default=0, alphabet=alphabet
+                        )
+                        for state in decision_states
+                    )
+                    expansion = ExpansionState(
+                        config, alphabet, store=store
+                    )
+                    for subject in config.process_ids:
+                        expansion.set_out(
+                            2, subject, deep_states[subject % repeats]
+                        )
+                    identity.extend(
+                        expansion.expand(1, state) is not BOTTOM
+                        for state in deep_states
+                    )
+                    substituted.extend(
+                        expansion.expand(2, state)
+                        for state in index_states
+                    )
+                # 3 interns per pattern, then 4 scan primitives per
+                # pattern per scan round.
+                operations += 3 * repeats + scans * 4 * repeats
+            walls[kernel] = time.perf_counter() - start
+        outcomes[kernel] = (
+            tuple(measured),
+            tuple(decisions),
+            tuple(identity),
+            tuple(substituted),
+        )
+    mismatches = sum(
+        1
+        for python_part, flat_part in zip(
+            outcomes["python"], outcomes["flat"]
+        )
+        if python_part != flat_part
+    )
+    python_s = walls["python"]
+    flat_s = walls["flat"]
+    return SuiteResult(
+        name="kernel",
+        wall_time_s=python_s + flat_s,
+        executions=operations * 2,
+        total_bits=sum(outcomes["python"][0]),
+        max_rounds=0,
+        violations=0,
+        errors=mismatches,
+        details={
+            "n": n,
+            "t": t,
+            "depth": deep,
+            "repeats": repeats,
+            "python_wall_s": round(python_s, 6),
+            "flat_wall_s": round(flat_s, 6),
+            "flat_speedup": (
+                round(python_s / flat_s, 3) if flat_s > 0 else None
+            ),
+        },
+    )
+
+
 #: The curated suite registry, in canonical run order.
 SUITES: Dict[str, Callable[[bool, int], SuiteResult]] = {
     "avalanche": bench_avalanche,
     "compact-ba": bench_compact_ba,
     "fullinfo-crossover": bench_fullinfo_crossover,
     "fullinfo-deep": bench_fullinfo_deep,
+    "kernel": bench_kernel,
 }
 
 
@@ -313,6 +470,9 @@ def run_bench(
     ``profile=False`` runs with the null observer — the control used
     when measuring instrumentation overhead (docs/observability.md).
     """
+    from repro.arrays import flat as _flat
+    from repro.arrays.store import clear_shared_stores, observe_shared_stores
+
     names = list(suites) if suites else list(SUITES)
     unknown = [name for name in names if name not in SUITES]
     if unknown:
@@ -333,8 +493,15 @@ def run_bench(
                     result = SUITES[name](quick, workers)
                 result.profile = profile_dict(observer.profile_since(mark))
                 results.append(result)
+                # Suites are unrelated workloads: record the interning
+                # registry's size gauges, then drop it so one suite's
+                # nodes never skew the next suite's footprint.
+                observe_shared_stores()
+                clear_shared_stores()
     else:
-        results = [SUITES[name](quick, workers) for name in names]
+        for name in names:
+            results.append(SUITES[name](quick, workers))
+            clear_shared_stores()
     total_time = sum(result.wall_time_s for result in results)
     total_executions = sum(result.executions for result in results)
     return {
@@ -343,6 +510,7 @@ def run_bench(
         .isoformat(timespec="seconds"),
         "quick": quick,
         "workers": workers,
+        "kernel": _flat.kernel_name(),
         "python_version": platform.python_version(),
         "platform": platform.platform(),
         "suites": [result.to_json() for result in results],
@@ -481,10 +649,12 @@ def write_report(report: Dict[str, Any], path: pathlib.Path) -> pathlib.Path:
 
 def render_report(report: Dict[str, Any]) -> str:
     """Human-readable summary of a bench report (the CLI's stdout)."""
+    kernel = report.get("kernel")
     lines = [
         f"repro bench — {report['generated_at']} "
         f"(workers={report['workers']}, "
-        f"{'quick' if report['quick'] else 'full'} suite)",
+        + (f"kernel={kernel}, " if kernel else "")
+        + f"{'quick' if report['quick'] else 'full'} suite)",
         "",
         f"{'suite':<22} {'time(s)':>8} {'execs':>6} {'exec/s':>8} "
         f"{'bits':>12} {'rounds':>6} {'viol':>5}",

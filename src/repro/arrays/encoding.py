@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.arrays import flat as _flat
 from repro.arrays.store import InternedArray
 from repro.errors import EncodingError
 from repro.types import is_bottom
@@ -77,11 +78,21 @@ def encoded_array_bits(array: Any, leaf_bits: int) -> int:
     """
     if is_bottom(array):
         return NULL_BITS
-    if isinstance(array, InternedArray) and array.defined:
-        return (
-            array.leaf_count * leaf_bits
-            + _interned_node_count(array) * HEADER_BITS
-        )
+    if isinstance(array, InternedArray):
+        if array.defined:
+            return (
+                array.leaf_count * leaf_bits
+                + _interned_node_count(array) * HEADER_BITS
+            )
+        if _flat.flat_enabled():
+            # Undefined arrays need per-leaf costs (bottoms are free);
+            # the flat column batches that instead of walking the tree.
+            return _flat.tables_for(array.store).measured_bits(
+                array,
+                ("uniform", leaf_bits),
+                lambda leaf: NULL_BITS if is_bottom(leaf) else leaf_bits,
+                HEADER_BITS,
+            )
     if isinstance(array, tuple):
         return HEADER_BITS + sum(
             encoded_array_bits(component, leaf_bits) for component in array
@@ -172,6 +183,16 @@ class MessageSizer:
         state — one new node over last round's children — costs one
         cache insert instead of a full O(``n ** depth``) walk.
         """
+        if isinstance(message, InternedArray) and _flat.flat_enabled():
+            # Same policy (value/index split, bottoms free), served
+            # from the store's flat size column: one batched scan per
+            # sync instead of a memoized recursion per new node.
+            return _flat.tables_for(message.store).measured_bits(
+                message,
+                ("sizer", self.value_bits, self.index_bits, self._n),
+                self._measure_leaf,
+                HEADER_BITS,
+            )
         try:
             key: Optional[Tuple[Any, ...]] = (structural_key(message),)
         except TypeError:
@@ -189,6 +210,12 @@ class MessageSizer:
         if key is not None:
             self._cache[key] = bits
         return bits
+
+    def _measure_leaf(self, leaf: Any) -> int:
+        """One leaf's cost under :meth:`measure` (bottoms are free)."""
+        if is_bottom(leaf):
+            return NULL_BITS
+        return self._leaf_bits(leaf)
 
     def measure_value_array(self, array: Any) -> int:
         """Size of an array charging every leaf as a value."""

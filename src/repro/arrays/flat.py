@@ -1,0 +1,557 @@
+"""Flat integer-table kernel over the interned DAG (``REPRO_KERNEL``).
+
+The hash-consing store (:mod:`repro.arrays.store`) collapses the
+exponential full-information state into a DAG of canonical nodes,
+making every per-round pass O(unique nodes).  What remains is pure
+Python *node churn*: each pass still visits nodes one at a time
+through dictionaries and recursion.  This module removes that layer
+for the hot passes by mirroring a store into **flat integer tables**
+and batch-scanning them with numpy:
+
+* every canonical node becomes a dense **row id**, assigned in intern
+  order — so children always occupy smaller ids than their parents,
+  and a single ascending scan is a valid bottom-up traversal;
+* leaf values are bit-packed into small-integer **codes** from a
+  per-store typed-leaf alphabet (keyed ``(type, value)``, mirroring
+  the store's typed identity, so ``True`` and ``1`` get distinct
+  codes);
+* ``children[row]`` holds one *ref* per component — a row id for a
+  sub-array, or ``-(code + 1)`` for a leaf — beside parallel
+  ``depth`` / ``leaf_count`` / ``defined`` columns.
+
+On top of the tables sit three vectorized scans, each an exact
+re-implementation of a hot per-round pass:
+
+* :meth:`FlatTables.measured_bits` — per-node encoded sizes under a
+  cost policy, computed level-by-level (an interned node's children
+  all share one depth, so one gather-and-sum per depth layer covers
+  every new row);
+* :meth:`FlatTables.leaves_ok` — "every leaf satisfies a predicate"
+  verdicts for whole row ranges at once (block-1 expansion and
+  legality checks);
+* :func:`eig_sweep` — the suffix-grouped strict-majority resolution
+  of the EIG Byzantine decision rule as a descent + ``bincount``
+  pipeline over a cached distinct-label chain topology.
+
+The kernel is selected with the ``REPRO_KERNEL`` environment variable
+(``flat`` — the default — or ``python``) or programmatically with
+:func:`use_kernel`; the pure-Python paths remain in place as the
+semantic reference, and every flat path is byte-identical to them
+(pinned by ``tests/arrays/test_flat.py`` and the fuzz-corpus replay).
+``docs/perf.md`` has the encoding layout and measurements.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+import numpy as np
+from numpy.typing import NDArray
+
+import repro.obs.core as _obs
+from repro.arrays.store import ArrayStore, InternedArray, TypedLeaf
+from repro.errors import ConfigurationError
+
+#: Environment variable selecting the kernel for the process.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: The two kernels.  ``flat`` is the default; ``python`` keeps every
+#: pass on the reference pure-Python implementation.
+FLAT_KERNEL = "flat"
+PYTHON_KERNEL = "python"
+_KERNELS = (FLAT_KERNEL, PYTHON_KERNEL)
+
+#: Process-wide programmatic override (``None`` defers to the
+#: environment).  Like the shared-store registry this is hash-consing
+#: machinery, not protocol state: both kernels compute byte-identical
+#: results, so the selection can never alter a protocol-visible
+#: outcome.
+_FORCED: Optional[str] = None
+
+#: ``(n, depth)`` -> the distinct-label chain topology (a pure
+#: function of its arguments; see :func:`chain_topology`).
+_TOPOLOGIES: Dict[Tuple[int, int], "ChainTopology"] = {}
+
+PURITY_EXEMPT = {
+    "kernel_name": (
+        "reads the REPRO_KERNEL environment switch and the module-level "
+        "override; kernel selection only chooses between two "
+        "byte-identical implementations, so the read is observationally "
+        "pure"
+    ),
+    "set_kernel": (
+        "writes the module-level kernel override (the programmatic "
+        "counterpart of the REPRO_KERNEL environment variable); both "
+        "kernels are byte-identical, so the shared state cannot alter "
+        "an outcome"
+    ),
+    "use_kernel": (
+        "scoped wrapper around set_kernel; reads the override to "
+        "restore it on exit"
+    ),
+    "tables_for": (
+        "memoises one FlatTables mirror per ArrayStore on the store "
+        "itself; the tables are derived read-only views of interned "
+        "nodes, so the cached state is observationally pure"
+    ),
+    "chain_topology": (
+        "memoises the (n, depth) chain-enumeration tables in a "
+        "module-level registry; the topology is a pure function of its "
+        "arguments"
+    ),
+}
+
+
+#: Last ``(raw env string, parsed kernel)`` pair; every hot pass asks
+#: :func:`flat_enabled`, so the parse is memoised on the raw string and
+#: re-done only when the variable actually changes.
+_ENV_CACHE: Tuple[Optional[str], str] = (None, FLAT_KERNEL)
+
+
+def kernel_name() -> str:
+    """The active kernel: the override, else ``REPRO_KERNEL``, else flat.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``REPRO_KERNEL`` names neither kernel — a typo'd switch
+        silently running the wrong kernel would defeat the point of
+        keeping a reference path.
+    """
+    if _FORCED is not None:
+        return _FORCED
+    global _ENV_CACHE
+    raw = os.environ.get(KERNEL_ENV)
+    cached_raw, cached_name = _ENV_CACHE
+    if raw == cached_raw:
+        return cached_name
+    value = (raw or "").strip().lower()
+    if not value:
+        value = FLAT_KERNEL
+    elif value not in _KERNELS:
+        raise ConfigurationError(
+            f"{KERNEL_ENV}={value!r} is not a kernel; choose one of "
+            f"{'|'.join(_KERNELS)}"
+        )
+    _ENV_CACHE = (raw, value)
+    return value
+
+
+def flat_enabled() -> bool:
+    """Whether the flat kernel is active for this process."""
+    return kernel_name() == FLAT_KERNEL
+
+
+def set_kernel(name: Optional[str]) -> None:
+    """Force the kernel programmatically (``None`` defers to the env)."""
+    global _FORCED
+    if name is not None and name not in _KERNELS:
+        raise ConfigurationError(
+            f"unknown kernel {name!r}; choose one of {'|'.join(_KERNELS)}"
+        )
+    _FORCED = name
+
+
+@contextmanager
+def use_kernel(name: str) -> Iterator[None]:
+    """Scope a kernel override to a ``with`` block (tests, benches)."""
+    previous = _FORCED
+    set_kernel(name)
+    try:
+        yield
+    finally:
+        set_kernel(previous)
+
+
+# -- the tables --------------------------------------------------------------
+
+_INITIAL_CAPACITY = 64
+
+RefTable = NDArray[np.int32]
+IntColumn = NDArray[np.int64]
+BoolColumn = NDArray[np.bool_]
+
+
+def _grown(column: NDArray[Any], rows: int) -> NDArray[Any]:
+    """``column`` with capacity for at least ``rows`` rows (amortized)."""
+    capacity = int(column.shape[0])
+    if rows <= capacity:
+        return column
+    while capacity < rows:
+        capacity *= 2
+    shape = (capacity,) + column.shape[1:]
+    grown = np.zeros(shape, dtype=column.dtype)
+    grown[: column.shape[0]] = column
+    return grown
+
+
+class _MeasureColumn:
+    """One incremental per-row bit-size column (one cost policy)."""
+
+    __slots__ = ("header_bits", "leaf_cost", "bits", "rows_done")
+
+    def __init__(self, header_bits: int):
+        self.header_bits = header_bits
+        # Per-leaf-code cost, extended as the alphabet grows; each
+        # distinct typed leaf is costed exactly once, ever.
+        self.leaf_cost: List[int] = []
+        self.bits: IntColumn = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self.rows_done = 0
+
+
+class _OkColumn:
+    """One incremental per-row all-leaves-satisfy verdict column."""
+
+    __slots__ = ("leaf_ok", "ok", "rows_done")
+
+    def __init__(self) -> None:
+        self.leaf_ok: List[bool] = []
+        self.ok: BoolColumn = np.zeros(_INITIAL_CAPACITY, dtype=np.bool_)
+        self.rows_done = 0
+
+
+class FlatTables:
+    """Append-only numpy mirror of one :class:`ArrayStore`'s DAG.
+
+    Stores only ever grow and canonical nodes are immutable, so rows
+    are immutable once written and children always occupy smaller row
+    ids than their parents.  Every derived column (sizes, verdicts)
+    exploits that: extending it to new rows is one batched gather per
+    depth layer, never a revisit of old rows.  Obtain a store's
+    mirror with :func:`tables_for`; it stays attached to the store
+    and shares its lifetime.
+    """
+
+    def __init__(self, store: ArrayStore):
+        self.store = store
+        self.n = store.n
+        # Node ``key_token`` -> row id, and row id -> node.
+        self._row_index: Dict[object, int] = {}
+        self._nodes: List[InternedArray] = []
+        # Typed leaf -> small-integer code, and its inverse.
+        self._code_of: Dict[TypedLeaf, int] = {}
+        self._leaves: List[Any] = []
+        self.children: RefTable = np.zeros(
+            (_INITIAL_CAPACITY, store.n), dtype=np.int32
+        )
+        self.depth: IntColumn = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self.leaf_count: IntColumn = np.zeros(
+            _INITIAL_CAPACITY, dtype=np.int64
+        )
+        self.defined: BoolColumn = np.zeros(_INITIAL_CAPACITY, dtype=np.bool_)
+        self._measure_columns: Dict[Any, _MeasureColumn] = {}
+        self._ok_columns: Dict[Any, _OkColumn] = {}
+
+    # -- mirroring ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def leaf_alphabet_size(self) -> int:
+        """Distinct typed leaves coded so far."""
+        return len(self._leaves)
+
+    def leaf_at(self, code: int) -> Any:
+        """The leaf object a code stands for."""
+        return self._leaves[code]
+
+    def code_of(self, typed_leaf: TypedLeaf) -> Optional[int]:
+        """The code of one typed leaf, or ``None`` if never mirrored."""
+        return self._code_of.get(typed_leaf)
+
+    def sync(self) -> int:
+        """Mirror nodes interned since the last call; returns row count.
+
+        O(new nodes).  Safe at any time: the store's intern order is
+        child-before-parent, so every ref a new row needs is already
+        assigned when the row is written.
+        """
+        nodes = self.store.interned_nodes()
+        start = len(self._nodes)
+        total = len(nodes)
+        if total == start:
+            return start
+        self.children = _grown(self.children, total)
+        self.depth = _grown(self.depth, total)
+        self.leaf_count = _grown(self.leaf_count, total)
+        self.defined = _grown(self.defined, total)
+        row_index = self._row_index
+        code_of = self._code_of
+        leaves = self._leaves
+        children = self.children
+        for row in range(start, total):
+            node = nodes[row]
+            for slot, component in enumerate(node):
+                if type(component) is InternedArray:
+                    children[row, slot] = row_index[component.key_token]
+                else:
+                    typed = (component.__class__, component)
+                    code = code_of.get(typed)
+                    if code is None:
+                        code = len(leaves)
+                        code_of[typed] = code
+                        leaves.append(component)
+                    children[row, slot] = -(code + 1)
+            self.depth[row] = node.depth
+            self.leaf_count[row] = node.leaf_count
+            self.defined[row] = node.defined
+            row_index[node.key_token] = row
+            self._nodes.append(node)
+        observer = _obs.ACTIVE
+        if observer is not None:
+            observer.count("arrays.flat.rows", total - start)
+        return total
+
+    def row_of(self, node: InternedArray) -> int:
+        """The row id of a node of this store (syncs if necessary)."""
+        row = self._row_index.get(node.key_token)
+        if row is None:
+            self.sync()
+            row = self._row_index[node.key_token]
+        return row
+
+    def node_at(self, row: int) -> InternedArray:
+        """The canonical node a row mirrors."""
+        return self._nodes[row]
+
+    def _new_row_batches(
+        self, start: int, total: int
+    ) -> Iterator[Tuple[int, IntColumn]]:
+        """Rows ``start:total`` grouped by depth, ascending.
+
+        Children precede parents in row order, so ascending-depth
+        batches are a valid bottom-up schedule for any column whose
+        row value depends only on child rows — and the batch gathers
+        see only complete inputs, because an interned node's children
+        all share depth ``level - 1``.
+        """
+        fresh = np.arange(start, total, dtype=np.int64)
+        depths = self.depth[fresh]
+        for level in np.unique(depths):
+            yield int(level), fresh[depths == level]
+
+    # -- derived columns ---------------------------------------------------
+
+    def measured_bits(
+        self,
+        node: InternedArray,
+        key: Any,
+        leaf_cost: Callable[[Any], int],
+        header_bits: int,
+    ) -> int:
+        """Exact encoded size of ``node`` under one cost policy.
+
+        ``key`` identifies the policy (callers derive it from their
+        cost parameters — same key, same policy); ``leaf_cost`` maps
+        one leaf object to its bit cost and is consulted once per
+        distinct typed leaf, ever.  Equivalent to the recursive walk
+        charging ``header_bits`` per tuple level plus
+        ``leaf_cost(leaf)`` per leaf occurrence — computed for every
+        store row at once, one vectorized gather-and-sum per depth
+        layer, so steady-state per-message calls are O(1) lookups.
+        """
+        total = self.sync()
+        column = self._measure_columns.get(key)
+        if column is None:
+            column = self._measure_columns[key] = _MeasureColumn(header_bits)
+        if column.rows_done < total:
+            cost_list = column.leaf_cost
+            for code in range(len(cost_list), len(self._leaves)):
+                cost_list.append(int(leaf_cost(self._leaves[code])))
+            column.bits = _grown(column.bits, total)
+            costs = np.asarray(cost_list, dtype=np.int64)
+            children = self.children
+            bits = column.bits
+            header = column.header_bits
+            for level, rows in self._new_row_batches(column.rows_done, total):
+                refs = children[rows]
+                if level == 1:
+                    bits[rows] = header + costs[-(refs + 1)].sum(axis=1)
+                else:
+                    bits[rows] = header + bits[refs].sum(axis=1)
+            column.rows_done = total
+        return int(column.bits[self.row_of(node)])
+
+    def leaves_ok(
+        self,
+        node: InternedArray,
+        key: Any,
+        leaf_ok: Callable[[Any], bool],
+    ) -> bool:
+        """Whether every leaf of ``node`` satisfies ``leaf_ok``.
+
+        ``key`` identifies the (immutable) predicate; ``leaf_ok`` runs
+        once per distinct typed leaf, ever.  Exact: a leaf predicate's
+        verdict depends only on the leaf, so scanning distinct codes
+        is equivalent to scanning all ``n ** depth`` occurrences.
+        """
+        total = self.sync()
+        column = self._ok_columns.get(key)
+        if column is None:
+            column = self._ok_columns[key] = _OkColumn()
+        if column.rows_done < total:
+            ok_list = column.leaf_ok
+            for code in range(len(ok_list), len(self._leaves)):
+                ok_list.append(bool(leaf_ok(self._leaves[code])))
+            column.ok = _grown(column.ok, total)
+            code_ok = np.asarray(ok_list, dtype=np.bool_)
+            children = self.children
+            ok = column.ok
+            for level, rows in self._new_row_batches(column.rows_done, total):
+                refs = children[rows]
+                if level == 1:
+                    ok[rows] = code_ok[-(refs + 1)].all(axis=1)
+                else:
+                    ok[rows] = ok[refs].all(axis=1)
+            column.rows_done = total
+        return bool(column.ok[self.row_of(node)])
+
+
+def tables_for(store: ArrayStore) -> FlatTables:
+    """The flat mirror of ``store``, built on first use.
+
+    The mirror hangs off the store itself, so it shares the store's
+    lifetime exactly: :func:`repro.arrays.store.clear_shared_stores`
+    drops both together, and worker processes forked mid-run inherit
+    a consistent pair.
+    """
+    tables: Optional[FlatTables] = store.flat_tables
+    if tables is None:
+        tables = FlatTables(store)
+        store.flat_tables = tables
+    return tables
+
+
+# -- the EIG chain sweep -----------------------------------------------------
+
+
+class ChainTopology:
+    """Index tables over distinct-label relay chains for one ``(n, depth)``.
+
+    Level ``l`` (1-based) enumerates the length-``l`` chains of
+    distinct labels from ``1..n`` in prefix-major label order.  For
+    level ``l``'s chain ``i``, three parallel int64 arrays say how it
+    relates to level ``l - 1``:
+
+    * ``prefix[l - 1][i]`` — the index of ``chain[:-1]``,
+    * ``last[l - 1][i]`` — the final label (1-based),
+    * ``suffix[l - 1][i]`` — the index of ``chain[1:]``.
+
+    ``prefix``/``last`` drive the downward array descent (extending a
+    path appends the label indexing the next component); ``suffix``
+    drives the upward majority sweep (extending a *chain* prepends
+    the later relayer in array-path order).
+    """
+
+    __slots__ = ("n", "depth", "prefix", "last", "suffix", "level_sizes")
+
+    def __init__(self, n: int, depth: int):
+        self.n = n
+        self.depth = depth
+        self.prefix: List[IntColumn] = []
+        self.last: List[IntColumn] = []
+        self.suffix: List[IntColumn] = []
+        #: Chains per level, level 0 included (the empty chain).
+        self.level_sizes: List[int] = [1]
+        previous: Dict[Tuple[int, ...], int] = {(): 0}
+        for _ in range(depth):
+            index_of: Dict[Tuple[int, ...], int] = {}
+            prefix: List[int] = []
+            last: List[int] = []
+            suffix: List[int] = []
+            for prior_chain, prior_index in previous.items():
+                for label in range(1, n + 1):
+                    if label in prior_chain:
+                        continue
+                    chain = prior_chain + (label,)
+                    index_of[chain] = len(prefix)
+                    prefix.append(prior_index)
+                    last.append(label)
+                    suffix.append(previous[chain[1:]])
+            self.prefix.append(np.asarray(prefix, dtype=np.int64))
+            self.last.append(np.asarray(last, dtype=np.int64))
+            self.suffix.append(np.asarray(suffix, dtype=np.int64))
+            self.level_sizes.append(len(prefix))
+            previous = index_of
+
+
+def chain_topology(n: int, depth: int) -> ChainTopology:
+    """The memoised chain topology for ``(n, depth)``.
+
+    Requires ``depth <= n`` — longer distinct-label chains do not
+    exist, and the reference sweep has no resolution for them.
+    """
+    if depth > n:
+        raise ConfigurationError(
+            f"no depth-{depth} distinct-label chains over {n} labels"
+        )
+    key = (n, depth)
+    topology = _TOPOLOGIES.get(key)
+    if topology is None:
+        topology = ChainTopology(n, depth)
+        _TOPOLOGIES[key] = topology
+    return topology
+
+
+def eig_sweep(
+    state: InternedArray,
+    vote_of_code: IntColumn,
+    num_candidates: int,
+    default_index: int,
+) -> int:
+    """The EIG strict-majority resolution of ``state``, vectorized.
+
+    ``vote_of_code`` maps every leaf code of the state's store to a
+    candidate index; candidate indices MUST be assigned in ascending
+    deterministic-rank order, because count ties break toward the
+    lowest index (``argmax`` returns the first maximum) — exactly the
+    reference sweep's rank tie-break.  Returns the winning candidate
+    index for the empty chain.
+
+    One descent reads every distinct-label chain's recorded leaf
+    (paths sharing an array prefix share the gather), then each
+    upward pass tallies length-``l`` resolutions under their
+    length-``l - 1`` suffix with one ``bincount`` and applies the
+    strict-majority rule ``2 * best > n - (l - 1)`` in bulk.  Every
+    length-``l - 1`` chain has exactly ``n - (l - 1)`` one-relayer
+    extensions (``depth <= n``), so no tally group is empty.
+    """
+    tables = tables_for(state.store)
+    depth = state.depth
+    n = tables.n
+    topology = chain_topology(n, depth)
+    tables.sync()
+    children = tables.children
+    refs: IntColumn = np.asarray([tables.row_of(state)], dtype=np.int64)
+    for level in range(depth):
+        gathered: IntColumn = children[
+            refs[topology.prefix[level]], topology.last[level] - 1
+        ].astype(np.int64)
+        refs = gathered
+    votes: IntColumn = vote_of_code[-(refs + 1)]
+    spread = num_candidates
+    for level in range(depth, 0, -1):
+        groups = topology.level_sizes[level - 1]
+        counts = np.bincount(
+            topology.suffix[level - 1] * spread + votes,
+            minlength=groups * spread,
+        ).reshape(groups, spread)
+        best = counts.argmax(axis=1)
+        best_count = counts[np.arange(groups), best]
+        extensions = n - (level - 1)
+        resolved: IntColumn = np.where(
+            best_count * 2 > extensions, best, default_index
+        ).astype(np.int64)
+        votes = resolved
+    return int(votes[0])

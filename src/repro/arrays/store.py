@@ -73,7 +73,16 @@ PURITY_EXEMPT = {
     "clear_shared_stores": (
         "drops the module-global registry (the inverse of "
         "shared_store); exists precisely so the impure cache can be "
-        "reset between unrelated workloads"
+        "reset between unrelated workloads; records the high-water "
+        "mark first so the peak survives the reset"
+    ),
+    "shared_store_stats": (
+        "reads the registry and maintains the module-level high-water "
+        "mark; pure monitoring of the observationally-pure cache"
+    ),
+    "observe_shared_stores": (
+        "forwards shared_store_stats to the active observer's gauges "
+        "(nondeterministic section; never protocol-visible)"
     ),
 }
 
@@ -128,10 +137,28 @@ class ArrayStore:
         self.n = n
         # Typed structure key -> the canonical node.
         self._nodes: Dict[Tuple[Any, ...], InternedArray] = {}
+        # The same nodes in intern order (children always precede
+        # parents): the append-only feed the flat-kernel mirror
+        # (repro.arrays.flat) syncs from incrementally.
+        self._order: List[InternedArray] = []
+        # The store's FlatTables mirror, attached lazily by
+        # repro.arrays.flat.tables_for (typed Any: flat imports this
+        # module, not the other way around).
+        self.flat_tables: Optional[Any] = None
 
     def __len__(self) -> int:
         """Number of unique canonical nodes interned so far."""
         return len(self._nodes)
+
+    def interned_nodes(self) -> List[InternedArray]:
+        """Every canonical node, in intern (child-before-parent) order.
+
+        The returned list is the store's own append-only record —
+        treat it as read-only.  Index ``i`` is stable forever, which
+        is what lets incremental consumers resume from where they
+        stopped.
+        """
+        return self._order
 
     def intern(self, array: Any) -> Any:
         """The canonical form of ``array``; scalars pass through.
@@ -266,6 +293,7 @@ class ArrayStore:
         node.store = self
         node._hash = tuple.__hash__(node)
         self._nodes[key] = node
+        self._order.append(node)
         observer = _obs.ACTIVE
         if observer is not None:
             observer.count("arrays.intern.miss")
@@ -274,6 +302,11 @@ class ArrayStore:
 
 #: The process-wide shared stores, one per system size ``n``.
 _SHARED_STORES: Dict[int, ArrayStore] = {}
+
+#: Most canonical nodes ever live across the registry at once —
+#: survives :func:`clear_shared_stores`, so long-lived services can
+#: see the peak even after the periodic resets that bound it.
+_HIGH_WATER_NODES = 0
 
 
 def shared_store(n: int) -> ArrayStore:
@@ -297,5 +330,47 @@ def clear_shared_stores() -> None:
     their store reference alive — but new interning starts from empty
     pools, so previously-issued nodes will no longer be identical to
     newly interned equal structures.
+
+    The registry otherwise grows without bound across unrelated
+    workloads (every sweep cell's states stay reachable through it),
+    so the bench harness and the fuzz campaign runner call this
+    between workloads; the peak is recorded first (see
+    :func:`shared_store_stats`).
     """
+    global _HIGH_WATER_NODES
+    nodes = sum(len(store) for store in _SHARED_STORES.values())
+    if nodes > _HIGH_WATER_NODES:
+        _HIGH_WATER_NODES = nodes
     _SHARED_STORES.clear()
+
+
+def shared_store_stats() -> Dict[str, int]:
+    """Size of the shared-store registry, for leak monitoring.
+
+    ``nodes``/``stores`` count what is live right now;
+    ``high_water_nodes`` is the most nodes ever observed at once
+    (updated here and when :func:`clear_shared_stores` drops a
+    registry, so the peak survives the reset).
+    """
+    global _HIGH_WATER_NODES
+    nodes = sum(len(store) for store in _SHARED_STORES.values())
+    if nodes > _HIGH_WATER_NODES:
+        _HIGH_WATER_NODES = nodes
+    return {
+        "nodes": nodes,
+        "stores": len(_SHARED_STORES),
+        "high_water_nodes": _HIGH_WATER_NODES,
+    }
+
+
+def observe_shared_stores() -> None:
+    """Report registry size through the active observer's gauges."""
+    observer = _obs.ACTIVE
+    if observer is None:
+        return
+    stats = shared_store_stats()
+    observer.gauge("arrays.shared_store.nodes", stats["nodes"])
+    observer.gauge("arrays.shared_store.stores", stats["stores"])
+    observer.gauge(
+        "arrays.shared_store.high_water_nodes", stats["high_water_nodes"]
+    )

@@ -82,7 +82,10 @@ class NullDecoder:
 
     def decode(self, sender: ProcessId, message: Any) -> Any:
         """Expand ``message`` from ``sender``; remembers real values."""
-        if is_null_message(message):
+        # Identity test inlined (is_null_message): decode runs n**2
+        # times per subprotocol round and the call overhead shows up
+        # in sweep profiles.
+        if message is NULL_MESSAGE:
             return self._last.get(sender, BOTTOM)
         self._last[sender] = message
         return message

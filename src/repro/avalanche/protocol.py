@@ -35,7 +35,7 @@ unchanged.  Tests cover both the tight and the generalised case.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.runtime.node import Process, broadcast
@@ -178,18 +178,64 @@ class AvalancheInstance:
         Ties are broken deterministically (lowest ``repr``), which is
         one way of the paper's "break ties arbitrarily".
         """
-        counts: Dict[Value, int] = {}
+        # The legality predicate is inlined (see _vote_is_legal, kept
+        # as the declared single point of truth): this loop runs once
+        # per received vote slot system-wide.
+        value_ok = self._value_ok
+        legal: List[Any] = []
         for vote in votes:
-            if not self._vote_is_legal(vote):
+            if vote is BOTTOM or vote is None:
                 continue
-            counts[vote] = counts.get(vote, 0) + 1
+            if value_ok is not None and not value_ok(vote):
+                continue
+            legal.append(vote)
+        if not legal:
+            return BOTTOM, 0
+        # A healthy round is homogeneous — every legal vote equals the
+        # first — and needs no counting dict at all.  The hash probe
+        # (the "obviously erroneous" filter for unhashable garbage)
+        # still runs, once, on the representative.
+        first = legal[0]
+        homogeneous = True
+        for vote in legal:
+            if vote is not first and vote != first:
+                homogeneous = False
+                break
+        if homogeneous:
+            try:
+                hash(first)
+            except TypeError:  # unhashable — "obviously erroneous"
+                return BOTTOM, 0
+            return first, len(legal)
+        counts: Dict[Value, int] = {}
+        for vote in legal:
+            try:
+                seen = counts.get(vote, 0)
+            except TypeError:
+                continue
+            counts[vote] = seen + 1
         if not counts:
             return BOTTOM, 0
-        best = min(counts, key=lambda value: (-counts[value], repr(value)))
-        return best, counts[best]
+        # Single pass for the max count; repr (the deterministic
+        # tie-break) is only computed when two values actually tie,
+        # which almost never happens in a healthy round.
+        best: Value = BOTTOM
+        best_count = 0
+        tied = False
+        for vote, count in counts.items():
+            if count > best_count:
+                best, best_count, tied = vote, count, False
+            elif count == best_count:
+                tied = True
+        if tied:
+            best = min(
+                (v for v, c in counts.items() if c == best_count), key=repr
+            )
+        return best, best_count
 
     def _vote_is_legal(self, vote: Any) -> bool:
-        if is_bottom(vote) or vote is None:
+        if vote is BOTTOM or vote is None:  # is_bottom, inlined: this
+            # predicate runs once per received vote slot system-wide.
             return False
         try:
             hash(vote)

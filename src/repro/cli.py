@@ -172,6 +172,21 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record the suite's structured event log to PATH (JSONL)",
     )
+    bench.add_argument(
+        "--kernel",
+        choices=("flat", "python"),
+        default=None,
+        help="force the array kernel for this run (default: the "
+        "REPRO_KERNEL environment variable, else flat); the report "
+        "records which kernel produced it",
+    )
+    bench.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="run without the observer (no span profiles in the "
+        "report); use when wall times must exclude instrumentation "
+        "overhead",
+    )
 
     events = commands.add_parser(
         "events",
@@ -448,15 +463,23 @@ def _command_bench(args):
         import json
 
         baseline = json.loads(baseline_path.read_text())
+    from repro.arrays import flat as _flat
+
     try:
-        report = run_bench(
-            suites=args.suite,
-            quick=args.quick,
-            workers=workers,
-            events=(
-                pathlib.Path(args.events) if args.events is not None else None
-            ),
-        )
+        with _flat.use_kernel(
+            args.kernel if args.kernel is not None else _flat.kernel_name()
+        ):
+            report = run_bench(
+                suites=args.suite,
+                quick=args.quick,
+                workers=workers,
+                events=(
+                    pathlib.Path(args.events)
+                    if args.events is not None
+                    else None
+                ),
+                profile=not args.no_profile,
+            )
     except KeyError as error:
         return f"error: {error.args[0]}", 2
     path = (

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 import repro.obs.core as _obs
+from repro.arrays import flat as _flat
 from repro.arrays.partial import substitutive_apply
 from repro.arrays.store import ArrayStore, InternedArray
 from repro.errors import ProtocolViolation
@@ -53,6 +54,11 @@ class ExpansionState:
         # this memo turns re-expansion of an already-seen CORE into one
         # dictionary hit per *new* node instead of a full tree walk.
         self._node_cache: Dict[Tuple[int, Any], Any] = {}
+        # (boundary, index scalar) -> defined phi_b(scalar).  Same
+        # defined-results-only rule: a defined scalar expansion chains
+        # only through irrevocable OUT entries, so it never changes,
+        # while an undefined one may become defined later.
+        self._scalar_cache: Dict[Tuple[int, int], Any] = {}
 
     # -- OUT table maintenance ---------------------------------------------
 
@@ -101,10 +107,16 @@ class ExpansionState:
             or not 1 <= scalar <= self.config.n
         ):
             return BOTTOM
+        cached = self._scalar_cache.get((boundary, scalar))
+        if cached is not None:
+            return cached
         agreed = self._out.get((boundary, scalar))
         if agreed is None:
             return BOTTOM
-        return self.expand(boundary - 1, agreed)
+        result = self.expand(boundary - 1, agreed)
+        if not is_bottom(result):
+            self._scalar_cache[(boundary, scalar)] = result
+        return result
 
     def expand(self, boundary: int, array: Any) -> Any:
         """``phi_b`` applied substitutively to an array.
@@ -151,15 +163,35 @@ class ExpansionState:
             if observer is not None:
                 observer.count("compact.expansion.hit")
             return cached
+        flat_kernel = _flat.flat_enabled()
         if boundary == 1:
             # phi_1 is the identity on value arrays; the node IS its
             # own expansion when every distinct leaf is a value.
-            result: Any = (
-                node
-                if all(leaf in self._alphabet for _, leaf in node.leaves_unique)
-                else BOTTOM
-            )
+            if flat_kernel:
+                # Served from the store's per-alphabet verdict column:
+                # unlike the node cache (defined results only), the
+                # column may keep negative verdicts too, because
+                # alphabet membership never changes.
+                ok = _flat.tables_for(node.store).leaves_ok(
+                    node,
+                    ("expansion.alphabet", self._alphabet),
+                    self._leaf_is_value,
+                )
+            else:
+                ok = all(
+                    leaf in self._alphabet for _, leaf in node.leaves_unique
+                )
+            result: Any = node if ok else BOTTOM
         else:
+            if flat_kernel:
+                # Substitutive prefilter: one bottom leaf bubbles all
+                # the way up, so the root expansion is defined iff
+                # every *distinct* leaf expands — O(distinct leaves)
+                # to rule out the (frequent, uncacheable) undefined
+                # case before paying for the recursive build.
+                for _, leaf in node.leaves_unique:
+                    if is_bottom(self.expand_scalar(boundary, leaf)):
+                        return BOTTOM
             expanded = []
             for component in node:
                 if type(component) is InternedArray:
@@ -177,6 +209,13 @@ class ExpansionState:
             if observer is not None:
                 observer.count("compact.expansion.miss")
         return result
+
+    def _leaf_is_value(self, leaf: Any) -> bool:
+        """Whether one leaf is in ``V`` (the ``phi_1`` domain test)."""
+        try:
+            return leaf in self._alphabet
+        except TypeError:  # unhashable leaf (plain-tuple path only)
+            return False
 
     def defined(self, boundary: int, array: Any) -> bool:
         """Whether ``phi_b`` is defined on ``array`` right now."""

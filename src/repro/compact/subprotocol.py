@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Tuple
 
-from repro.avalanche.coding import NullDecoder, NullEncoder
+from repro.avalanche.coding import NULL_MESSAGE, NullEncoder
 from repro.avalanche.protocol import AvalancheInstance, Thresholds
 from repro.types import BOTTOM, ProcessId, SystemConfig, Value
 
@@ -58,9 +58,14 @@ class AgreementBatch:
         self._encoders: Dict[ProcessId, NullEncoder] = {
             subject: NullEncoder() for subject in config.process_ids
         }
-        self._decoders: Dict[ProcessId, NullDecoder] = {
-            subject: NullDecoder() for subject in config.process_ids
-        }
+        # Receiver-side null-decoding state, one row per sender in
+        # ``process_ids`` order: ``row[subject_index]`` is the last
+        # real (non-null) vote that sender transmitted for the subject.
+        # BOTTOM doubles as "never sent", matching NullDecoder — a null
+        # from a silent sender decodes to bottom either way.
+        self._last_votes: List[List[Any]] = [
+            [BOTTOM] * config.n for _ in config.process_ids
+        ]
         self._reported: set = set()
         self.rounds_stepped = 0
 
@@ -90,18 +95,40 @@ class AgreementBatch:
         n = self.config.n
         self.rounds_stepped += 1
         decided: List[Tuple[ProcessId, Value]] = []
-        for index, subject in enumerate(self.config.process_ids):
-            decoder = self._decoders[subject]
-            votes: List[Any] = []
-            for sender in self.config.process_ids:
-                component = votes_by_sender.get(sender, BOTTOM)
-                if isinstance(component, tuple) and len(component) == n:
-                    vote = decoder.decode(sender, component[index])
+        process_ids = self.config.process_ids
+        # Null-decoding inlined (one pass per sender component): the
+        # per-(subject, sender) decode calls of the NullDecoder
+        # formulation dominated compact-sweep profiles.  A malformed
+        # component (not an n-tuple) contributes bottom for every
+        # subject; `live` tracks subjects that received anything
+        # other than bottom this round.
+        votes_by_subject: List[List[Any]] = [[BOTTOM] * n for _ in range(n)]
+        live = [False] * n
+        for s_index, sender in enumerate(process_ids):
+            component = votes_by_sender.get(sender, BOTTOM)
+            if not (isinstance(component, tuple) and len(component) == n):
+                continue
+            last_row = self._last_votes[s_index]
+            for index in range(n):
+                vote = component[index]
+                if vote is NULL_MESSAGE:
+                    vote = last_row[index]
                 else:
-                    vote = BOTTOM
-                votes.append(vote)
+                    last_row[index] = vote
+                if vote is not BOTTOM:
+                    votes_by_subject[index][s_index] = vote
+                    live[index] = True
+        for index, subject in enumerate(process_ids):
             instance = self.instances[subject]
-            instance.step(votes)
+            if live[index]:
+                instance.step(votes_by_subject[index])
+            else:
+                # All-bottom round, inlined: an empty tally adopts and
+                # decides nothing, and in round 1 resets VAL to bottom
+                # (count 0 is below every quorum).
+                instance.rounds_completed += 1
+                if instance.rounds_completed == 1:
+                    instance.val = BOTTOM
             if instance.has_decided() and subject not in self._reported:
                 self._reported.add(subject)
                 decided.append((subject, instance.decision))

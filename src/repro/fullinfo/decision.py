@@ -32,9 +32,12 @@ claim about itself) are normalised to the default value first.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 import repro.obs.core as _obs
+from repro.arrays import flat as _flat
 from repro.arrays.store import InternedArray
 from repro.arrays.value_array import array_depth, unique_leaves
 from repro.core.automaton import AutomatonProtocol
@@ -189,11 +192,27 @@ def _resolve_eig_decision(
             candidates[normalise(leaf)] = None
     except TypeError:  # unhashable leaf with no alphabet to launder it
         pass
-    rank = {
-        vote: position
-        for position, vote in enumerate(sorted(candidates, key=repr))
-    }
+    ordered = sorted(candidates, key=repr)
+    rank = {vote: position for position, vote in enumerate(ordered)}
     unranked = len(rank)
+
+    # Flat-kernel sweep: the same resolution as one numpy descent +
+    # per-level bincount over the interned tables (repro.arrays.flat).
+    # Falls back to the reference sweep whenever byte-identity cannot
+    # be guaranteed by construction (see _flat_sweep_index).
+    if (
+        type(state) is InternedArray
+        and depth <= n
+        and _flat.flat_enabled()
+    ):
+        winner = _flat_sweep_index(state, normalise, ordered, rank, default)
+        observer = _obs.ACTIVE
+        if winner is not None:
+            if observer is not None:
+                observer.count("eig.kernel.flat")
+            return ordered[winner]
+        if observer is not None:
+            observer.count("eig.kernel.fallback")
 
     # Chains are reverse-chronological array paths with distinct
     # labels; a chain's resolution is Lynch's newval on the
@@ -241,6 +260,57 @@ def _resolve_eig_decision(
             )
 
     return resolved[()]
+
+
+#: Leaf types the flat sweep handles.  Exact types only (no
+#: subclasses): these are the builtins whose equality, hash and repr
+#: are all consistent with each other, which the collision check in
+#: :func:`_flat_sweep_index` relies on.
+_FLAT_VOTE_TYPES = (bool, int, float, str, bytes, type(None))
+
+_MISSING = object()
+
+
+def _flat_sweep_index(
+    state: InternedArray,
+    normalise: Callable[[Any], Value],
+    ordered: List[Hashable],
+    rank: Dict[Hashable, int],
+    default: Value,
+) -> Optional[int]:
+    """``ordered``-index of the flat-kernel winner, or ``None``.
+
+    ``None`` sends the caller to the reference sweep.  That happens
+    when a vote is not a plain scalar builtin, or when two candidate
+    objects are *value-equal but distinguishable* (class or repr
+    differs — ``True`` vs ``1``, ``0.0`` vs ``-0.0``): the reference
+    tallies merge such votes under whichever object a chain records
+    first, an order the tables do not track, so only the reference
+    sweep reproduces those bytes.
+    """
+    votes = [default]
+    for _, leaf in state.leaves_unique:
+        votes.append(normalise(leaf))
+    representative: Dict[Any, Any] = {}
+    for vote in votes:
+        if type(vote) not in _FLAT_VOTE_TYPES:
+            return None
+        prior = representative.get(vote, _MISSING)
+        if prior is _MISSING:
+            representative[vote] = vote
+        elif prior.__class__ is not vote.__class__ or repr(prior) != repr(vote):
+            return None
+    tables = _flat.tables_for(state.store)
+    tables.sync()
+    default_index = rank[default]
+    vote_of_code = np.full(
+        tables.leaf_alphabet_size, default_index, dtype=np.int64
+    )
+    for position, (typed_class, leaf) in enumerate(state.leaves_unique):
+        code = tables.code_of((typed_class, leaf))
+        assert code is not None  # sync() mirrored every leaf of state
+        vote_of_code[code] = rank[votes[position + 1]]
+    return _flat.eig_sweep(state, vote_of_code, len(ordered), default_index)
 
 
 def make_eig_decision_rule(

@@ -18,7 +18,7 @@ protocol.  Adversary traffic can be included for diagnostics.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.types import ProcessId, Round
 
@@ -86,6 +86,36 @@ class MessageMetrics:
         self._per_round[round_number].add(bits, non_null)
         self._per_sender[sender].add(bits, non_null)
         self._per_link[(sender, receiver)].add(bits, non_null)
+
+    def sender_round_recorder(
+        self, round_number: Round, sender: ProcessId
+    ) -> Callable[[ProcessId, int, bool], None]:
+        """A per-receiver :meth:`record` with the fixed rows prefetched.
+
+        The network delivers one sender's round traffic in a burst of
+        up to ``n`` messages that share the round and sender rows;
+        binding those two rows once leaves only the per-link lookup on
+        the per-message path.  Semantically identical to calling
+        :meth:`record` per message.
+        """
+        round_usage = self._per_round[round_number]
+        sender_usage = self._per_sender[sender]
+        per_link = self._per_link
+
+        def record(receiver: ProcessId, bits: int, non_null: bool) -> None:
+            link_usage = per_link[(sender, receiver)]
+            round_usage.messages += 1
+            round_usage.bits += bits
+            sender_usage.messages += 1
+            sender_usage.bits += bits
+            link_usage.messages += 1
+            link_usage.bits += bits
+            if non_null:
+                round_usage.non_null_messages += 1
+                sender_usage.non_null_messages += 1
+                link_usage.non_null_messages += 1
+
+        return record
 
     # -- totals -----------------------------------------------------------
 

@@ -25,7 +25,7 @@ when no trace is attached.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 import repro.obs.core as _obs
 from repro.adversary.base import Adversary, RoundContext
@@ -105,17 +105,20 @@ class SynchronousNetwork:
         self._bottom_row: Dict[ProcessId, Any] = {
             process_id: BOTTOM for process_id in config.process_ids
         }
-        # Per-round sizer memo keyed on payload identity; broadcast
-        # sends one object to n receivers, so n - 1 sizer walks per
-        # sender collapse to dict hits.  Cleared every round, and the
-        # outgoing maps keep payloads alive for the round, so an id can
-        # never be reused while cached.
-        self._size_cache: Dict[int, int] = {}
+        # Per-round (size, non-null) memo keyed on payload identity;
+        # broadcast sends one object to n receivers, so n - 1 sizer
+        # and null-check walks per sender collapse to dict hits.
+        # Cleared every round, and the outgoing maps keep payloads
+        # alive for the round, so an id can never be reused while
+        # cached.
+        self._size_cache: Dict[int, Tuple[int, bool]] = {}
         # Cross-round memo for hash-consed payloads: a canonical node's
         # key_token is unique for the store's lifetime (the store holds
         # the node alive), so this cache is never cleared — a value
-        # array re-broadcast in a later round is sized by one dict hit.
-        self._interned_size_cache: Dict[Any, int] = {}
+        # array re-broadcast in a later round is measured by one dict
+        # hit.  Both entries are stable: the sizer and the null
+        # predicate are pure functions of the payload value.
+        self._interned_size_cache: Dict[Any, Tuple[int, bool]] = {}
 
     def run_round(self) -> Round:
         """Execute one full round; returns its (1-based) number."""
@@ -206,36 +209,38 @@ class SynchronousNetwork:
             )
         return round_number
 
-    def _measured_bits(
+    def _measured(
         self, payload: Any, observer: Optional[Observer] = None
-    ) -> int:
-        """The sizer's verdict for ``payload``, memoized.
+    ) -> Tuple[int, bool]:
+        """``(bits, non_null)`` for ``payload``, memoized together.
 
         Interned payloads memoize on their stable ``key_token`` and
         survive round boundaries; everything else memoizes on object
-        identity within the round.
+        identity within the round.  The null verdict rides in the same
+        entry because both are pure functions of the payload and both
+        are needed per delivery.
         """
         if type(payload) is InternedArray:
             token = payload.key_token
-            bits = self._interned_size_cache.get(token)
-            if bits is None:
-                bits = self.sizer(payload)
-                self._interned_size_cache[token] = bits
+            entry = self._interned_size_cache.get(token)
+            if entry is None:
+                entry = (self.sizer(payload), not self.is_null(payload))
+                self._interned_size_cache[token] = entry
                 if observer is not None:
                     observer.count("net.interned_size_cache.miss")
             elif observer is not None:
                 observer.count("net.interned_size_cache.hit")
-            return bits
+            return entry
         key = id(payload)
-        bits = self._size_cache.get(key)
-        if bits is None:
-            bits = self.sizer(payload)
-            self._size_cache[key] = bits
+        entry = self._size_cache.get(key)
+        if entry is None:
+            entry = (self.sizer(payload), not self.is_null(payload))
+            self._size_cache[key] = entry
             if observer is not None:
                 observer.count("net.size_cache.miss")
         elif observer is not None:
             observer.count("net.size_cache.hit")
-        return bits
+        return entry
 
     def _deliver(
         self,
@@ -248,8 +253,11 @@ class SynchronousNetwork:
         faulty: bool = False,
     ) -> None:
         trace = self.trace
-        metrics = self.metrics
         events = observer is not None and observer.events_on
+        # Bound lazily on the first metered delivery, so an all-bottom
+        # burst creates no metric rows (rounds_used counts only rounds
+        # with recorded traffic).
+        record: Optional[Callable[[ProcessId, int, bool], None]] = None
         for receiver, payload in per_receiver.items():
             incoming = incoming_by_receiver.get(receiver)
             if incoming is not None:
@@ -260,12 +268,12 @@ class SynchronousNetwork:
             if is_bottom(payload):
                 continue
             if metered:
-                bits = self._measured_bits(payload, observer)
-                non_null = not self.is_null(payload)
-                metrics.record(
-                    round_number, sender, receiver,
-                    bits=bits, non_null=non_null,
-                )
+                if record is None:
+                    record = self.metrics.sender_round_recorder(
+                        round_number, sender
+                    )
+                bits, non_null = self._measured(payload, observer)
+                record(receiver, bits, non_null)
                 if events and not faulty:
                     assert observer is not None
                     observer.emit(

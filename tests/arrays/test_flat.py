@@ -1,0 +1,333 @@
+"""The flat integer-table kernel: mirror fidelity and kernel equality.
+
+The flat kernel's contract is *byte-identity*: with ``REPRO_KERNEL``
+flipped, every measured size, every decision, every expansion — and
+ultimately every serialised execution outcome — must be
+indistinguishable from the pure-Python reference path.  These tests
+pin that contract at three levels: the table mirror itself (rows
+reproduce the interned DAG exactly), the hot primitives (sizer,
+EIG resolution, expansion) under hypothesis-generated and
+Byzantine-ragged inputs, and whole fuzz-corpus replays compared as
+pickled bytes.
+"""
+
+import pathlib
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arrays.encoding import MessageSizer, encoded_array_bits
+from repro.arrays.flat import (
+    FLAT_KERNEL,
+    KERNEL_ENV,
+    PYTHON_KERNEL,
+    FlatTables,
+    kernel_name,
+    set_kernel,
+    tables_for,
+    use_kernel,
+)
+from repro.arrays.store import ArrayStore, InternedArray, clear_shared_stores
+from repro.compact.expansion import ExpansionState
+from repro.errors import ConfigurationError, ProtocolViolation
+from repro.fullinfo.decision import eig_byzantine_decision
+from repro.fuzz.campaign import replay_case
+from repro.fuzz.case import load_corpus
+from repro.types import BOTTOM, SystemConfig
+
+from tests.arrays.test_store import plain_arrays
+
+CORPUS_DIR = pathlib.Path(__file__).parent.parent / "fuzz" / "corpus"
+
+
+def uniform_trees(n: int, depth: int, leaves):
+    """Strategy: one plain nested tuple of exactly ``depth`` levels."""
+    strategy = leaves
+    for _ in range(depth):
+        strategy = st.tuples(*[strategy] * n)
+    return strategy
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_stores():
+    clear_shared_stores()
+    yield
+    clear_shared_stores()
+
+
+# -- kernel selection --------------------------------------------------------
+
+
+class TestKernelSwitch:
+    def test_default_is_flat(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert kernel_name() == FLAT_KERNEL
+
+    def test_environment_selects_python(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "python")
+        assert kernel_name() == PYTHON_KERNEL
+
+    def test_environment_is_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "  FLAT ")
+        assert kernel_name() == FLAT_KERNEL
+
+    def test_typoed_environment_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "flatt")
+        with pytest.raises(ConfigurationError):
+            kernel_name()
+
+    def test_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "python")
+        with use_kernel(FLAT_KERNEL):
+            assert kernel_name() == FLAT_KERNEL
+        assert kernel_name() == PYTHON_KERNEL
+
+    def test_unknown_override_raises(self):
+        with pytest.raises(ConfigurationError):
+            set_kernel("numpy")
+
+    def test_use_kernel_nests_and_restores(self):
+        with use_kernel(PYTHON_KERNEL):
+            with use_kernel(FLAT_KERNEL):
+                assert kernel_name() == FLAT_KERNEL
+            assert kernel_name() == PYTHON_KERNEL
+
+    def test_use_kernel_restores_after_error(self):
+        with pytest.raises(RuntimeError):
+            with use_kernel(PYTHON_KERNEL):
+                raise RuntimeError("boom")
+        # The override must be cleared again despite the exception.
+        with use_kernel(FLAT_KERNEL):
+            assert kernel_name() == FLAT_KERNEL
+
+
+# -- the table mirror --------------------------------------------------------
+
+
+def collect_nodes(node):
+    """Every interned node reachable from ``node``, parents included."""
+    seen = {}
+
+    def walk(current):
+        if current.key_token in seen:
+            return
+        seen[current.key_token] = current
+        for component in current:
+            if type(component) is InternedArray:
+                walk(component)
+
+    walk(node)
+    return list(seen.values())
+
+
+class TestTableMirror:
+    @given(plain_arrays(n=3))
+    @settings(max_examples=120, deadline=None)
+    def test_rows_reproduce_interned_metadata(self, array):
+        store = ArrayStore(3)
+        root = store.intern(array)
+        tables = tables_for(store)
+        tables.sync()
+        for node in collect_nodes(root):
+            row = tables.row_of(node)
+            assert tables.node_at(row) is node
+            assert int(tables.depth[row]) == node.depth
+            assert int(tables.leaf_count[row]) == node.leaf_count
+            assert bool(tables.defined[row]) == node.defined
+
+    @given(plain_arrays(n=3))
+    @settings(max_examples=120, deadline=None)
+    def test_child_refs_decode_to_components(self, array):
+        store = ArrayStore(3)
+        root = store.intern(array)
+        tables = tables_for(store)
+        tables.sync()
+        for node in collect_nodes(root):
+            row = tables.row_of(node)
+            for slot, component in enumerate(node):
+                ref = int(tables.children[row, slot])
+                if type(component) is InternedArray:
+                    assert ref >= 0
+                    assert tables.node_at(ref) is component
+                else:
+                    assert ref < 0
+                    decoded = tables.leaf_at(-(ref + 1))
+                    assert decoded == component
+                    assert type(decoded) is type(component)
+
+    def test_leaf_codes_are_typed(self):
+        store = ArrayStore(2)
+        store.intern((True, 1))
+        tables = tables_for(store)
+        tables.sync()
+        code_true = tables.code_of((bool, True))
+        code_one = tables.code_of((int, 1))
+        assert code_true is not None and code_one is not None
+        assert code_true != code_one
+        assert tables.leaf_at(code_true) is True
+        assert tables.leaf_at(code_one) == 1
+
+    def test_mirror_is_incremental(self):
+        store = ArrayStore(2)
+        first = store.intern(((0, 1), (1, 0)))
+        tables = tables_for(store)
+        rows_after_first = tables.sync()
+        assert rows_after_first == len(tables)
+        second = store.intern(((0, 1), (0, 0)))
+        rows_after_second = tables.sync()
+        assert rows_after_second > rows_after_first
+        # Old rows stay put; the shared child kept its row.
+        assert tables.row_of(first) < rows_after_first
+        assert tables.row_of(second) >= rows_after_first
+
+    def test_tables_for_is_memoised_per_store(self):
+        store = ArrayStore(2)
+        assert tables_for(store) is tables_for(store)
+        assert isinstance(tables_for(store), FlatTables)
+        assert tables_for(ArrayStore(2)) is not tables_for(store)
+
+
+# -- cross-kernel equality of the hot primitives -----------------------------
+
+
+def both_kernels(operation):
+    """Run ``operation`` under each kernel on its own shared stores."""
+    results = {}
+    for kernel in (PYTHON_KERNEL, FLAT_KERNEL):
+        clear_shared_stores()
+        with use_kernel(kernel):
+            results[kernel] = operation()
+    clear_shared_stores()
+    return results[PYTHON_KERNEL], results[FLAT_KERNEL]
+
+
+class TestKernelEquality:
+    @given(plain_arrays(n=3))
+    @settings(max_examples=100, deadline=None)
+    def test_sizer_measures_identically(self, array):
+        def measure():
+            store = ArrayStore(3)
+            node = store.intern(array)
+            sizer = MessageSizer(value_alphabet_size=4, n=3)
+            return (
+                sizer.measure(node),
+                sizer.measure(array),
+                encoded_array_bits(node, leaf_bits=2),
+            )
+
+        python_bits, flat_bits = both_kernels(measure)
+        assert python_bits == flat_bits
+
+    @given(
+        uniform_trees(
+            n=4,
+            depth=2,
+            leaves=st.one_of(
+                st.integers(min_value=0, max_value=1),
+                st.just("garbage"),
+                st.just(BOTTOM),
+            ),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_eig_decision_identical(self, state):
+        def decide():
+            store = ArrayStore(4)
+            node = store.intern(state)
+            return (
+                eig_byzantine_decision(
+                    node, n=4, t=1, process_id=1, default=0, alphabet=[0, 1]
+                ),
+                eig_byzantine_decision(
+                    node, n=4, t=1, process_id=1, default=0
+                ),
+            )
+
+        python_result, flat_result = both_kernels(decide)
+        assert python_result == flat_result
+
+    def test_eig_decision_on_ragged_state_identical(self):
+        # A Byzantine processor relays a ragged (wrong-arity) level:
+        # both kernels must degrade identically, without crashing.
+        ragged = (
+            ((0, 1, 0, 1), (1, 1, 1, 1), (0, 0), (1, 0, 1, 0)),
+            "garbage",
+            ((1, 1, 1, 1), (0, 0, 0, 0), (1, 1, 1, 1), (0, 0, 0, 0)),
+            ((0, 1, 0, 1), (1, 0, 1, 0), (0, 1, 0, 1), (1, 0, 1, 0)),
+        )
+
+        def decide():
+            try:
+                return eig_byzantine_decision(
+                    ragged, n=4, t=1, process_id=2, default=0, alphabet=[0, 1]
+                )
+            except ProtocolViolation as violation:
+                return ("rejected", str(violation))
+
+        python_result, flat_result = both_kernels(decide)
+        assert python_result == flat_result
+        assert python_result[0] == "rejected"
+
+    @given(
+        uniform_trees(
+            n=3,
+            depth=2,
+            leaves=st.one_of(
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=1, max_value=3),
+            ),
+        ),
+        st.sets(st.integers(min_value=1, max_value=3)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_expansion_identical(self, array, decided):
+        config = SystemConfig(n=3, t=1)
+
+        def expand():
+            store = ArrayStore(3)
+            expansion = ExpansionState(config, [0, 1], store=store)
+            for sender in sorted(decided):
+                expansion.set_out(2, sender, store.intern((0, 1, sender % 2)))
+            node = store.intern(array)
+            first = expansion.expand(2, node)
+            identity = expansion.expand(1, node)
+            # Defined results are memoised; a second call must agree.
+            assert expansion.expand(2, node) == first
+            return (first, identity, expansion.defined(2, node))
+
+        python_result, flat_result = both_kernels(expand)
+        assert python_result == flat_result
+
+
+# -- corpus replay: whole executions, compared as bytes ----------------------
+
+
+_ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def replay_bytes(case):
+    """A canonical serialisation of everything a replay determined."""
+    outcome = replay_case(case)
+    result = outcome.result
+    return pickle.dumps(
+        (
+            result.rounds,
+            sorted(result.decisions.items()),
+            sorted(result.decision_rounds.items()),
+            result.answer_vector(),
+            result.metrics.as_counters(),
+            sorted(result.metrics.bits_by_round()),
+            outcome.violations,
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "case",
+    [case for _, case in _ENTRIES],
+    ids=[path.name for path, _ in _ENTRIES],
+)
+def test_corpus_replay_bytes_identical_across_kernels(case):
+    python_blob, flat_blob = both_kernels(lambda: replay_bytes(case))
+    assert python_blob == flat_blob
