@@ -19,6 +19,7 @@ noise.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import datetime
 import json
@@ -455,12 +456,31 @@ SUITES: Dict[str, Callable[[bool, int], SuiteResult]] = {
 }
 
 
+#: Suite fields the warm-cache leg must reproduce exactly — a drift
+#: means the persistent cache changed results, which is a bug, never
+#: noise.
+_DETERMINISTIC_FIELDS = (
+    "executions", "total_bits", "max_rounds", "violations", "errors",
+)
+
+
+def _counter_delta(
+    current: Dict[str, int], before: Dict[str, int]
+) -> Dict[str, int]:
+    return {
+        name: current.get(name, 0) - before.get(name, 0)
+        for name in current
+        if current.get(name, 0) != before.get(name, 0)
+    }
+
+
 def run_bench(
     suites: Optional[Sequence[str]] = None,
     quick: bool = False,
     workers: int = DEFAULT_WORKERS,
     events: Optional[pathlib.Path] = None,
     profile: bool = True,
+    cache_dir: Optional[pathlib.Path] = None,
 ) -> Dict[str, Any]:
     """Run the selected suites; returns the full JSON-ready report.
 
@@ -469,9 +489,21 @@ def run_bench(
     ``events`` optionally streams the structured event log to a path.
     ``profile=False`` runs with the null observer — the control used
     when measuring instrumentation overhead (docs/observability.md).
+
+    ``cache_dir`` switches every suite to a cold-then-warm pair under
+    the persistent structural-sharing cache
+    (:mod:`repro.arrays.persist`): the suite runs once against the
+    cache (cold — flush cost included), then again (warm — replaying
+    the segments the cold leg wrote).  The recorded suite numbers are
+    the *cold* leg's; the warm wall time, the warm/cold ratio and the
+    per-leg ``persist.*`` counter deltas land in
+    ``details["persist"]``.  The two legs must agree on every
+    deterministic quantity — a mismatch raises instead of writing a
+    corrupt baseline.
     """
     from repro.arrays import flat as _flat
-    from repro.arrays.store import clear_shared_stores, observe_shared_stores
+    from repro.arrays import persist as _persist
+    from repro.arrays.store import release_shared_stores
 
     names = list(suites) if suites else list(SUITES)
     unknown = [name for name in names if name not in SUITES]
@@ -479,29 +511,75 @@ def run_bench(
         raise KeyError(
             f"unknown bench suite(s) {unknown}; known: {sorted(SUITES)}"
         )
-    results: List[SuiteResult] = []
-    if profile or events is not None:
-        from repro.obs.core import Observer, observing
-        from repro.obs.events import EventLog
-        from repro.obs.spans import profile_dict
 
-        sink = EventLog(events) if events is not None else None
-        with observing(Observer(events=sink)) as observer:
-            for name in names:
+    def run_one(name: str, observer: Any = None) -> SuiteResult:
+        def leg() -> SuiteResult:
+            if observer is not None:
                 mark = observer.profile_snapshot()
                 with observer.span(f"bench.{name}"):
                     result = SUITES[name](quick, workers)
                 result.profile = profile_dict(observer.profile_since(mark))
-                results.append(result)
-                # Suites are unrelated workloads: record the interning
-                # registry's size gauges, then drop it so one suite's
-                # nodes never skew the next suite's footprint.
-                observe_shared_stores()
-                clear_shared_stores()
-    else:
-        for name in names:
-            results.append(SUITES[name](quick, workers))
-            clear_shared_stores()
+            else:
+                result = SUITES[name](quick, workers)
+            # Suites are unrelated workloads: record the interning
+            # registry's size gauges, flush cache deltas, then drop
+            # the registry so one suite's nodes never skew the next
+            # suite's footprint.
+            release_shared_stores()
+            return result
+
+        if cache_dir is None:
+            return leg()
+        cache = _persist.active()
+        if cache is None:  # pragma: no cover - using_cache guards this
+            return leg()
+        before = dict(cache.counters)
+        cold = leg()
+        cold_counters = _counter_delta(cache.counters, before)
+        before = dict(cache.counters)
+        warm = leg()
+        warm_counters = _counter_delta(cache.counters, before)
+        for field in _DETERMINISTIC_FIELDS:
+            if getattr(cold, field) != getattr(warm, field):
+                raise RuntimeError(
+                    f"bench {name}: warm-cache leg changed {field} from "
+                    f"{getattr(cold, field)} to {getattr(warm, field)} — "
+                    "the persistent cache must never alter results"
+                )
+        warm_s = warm.wall_time_s
+        cold.details["persist"] = {
+            "cache_dir": str(cache_dir),
+            "cold_wall_s": round(cold.wall_time_s, 6),
+            "warm_wall_s": round(warm_s, 6),
+            "warm_over_cold": (
+                round(warm_s / cold.wall_time_s, 4)
+                if cold.wall_time_s > 0
+                else None
+            ),
+            "cold_counters": cold_counters,
+            "warm_counters": warm_counters,
+        }
+        return cold
+
+    results: List[SuiteResult] = []
+    cache_scope = (
+        _persist.using_cache(cache_dir)
+        if cache_dir is not None
+        else contextlib.nullcontext()
+    )
+    with cache_scope:
+        if profile or events is not None:
+            from repro.obs.core import Observer, observing
+            from repro.obs.events import EventLog
+            from repro.obs.spans import profile_dict
+
+            sink = EventLog(events) if events is not None else None
+            with observing(Observer(events=sink)) as observer:
+                for name in names:
+                    results.append(run_one(name, observer))
+        else:
+            for name in names:
+                results.append(run_one(name))
     total_time = sum(result.wall_time_s for result in results)
     total_executions = sum(result.executions for result in results)
     return {
@@ -511,6 +589,7 @@ def run_bench(
         "quick": quick,
         "workers": workers,
         "kernel": _flat.kernel_name(),
+        "cache_dir": str(cache_dir) if cache_dir is not None else None,
         "python_version": platform.python_version(),
         "platform": platform.platform(),
         "suites": [result.to_json() for result in results],

@@ -15,6 +15,7 @@ workers=N)`` fans the cells out over a process pool via
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -110,6 +111,7 @@ def sweep(
     sizer: Optional[Callable[[Any], int]] = None,
     is_null: Optional[Callable[[Any], bool]] = None,
     workers: Optional[int] = None,
+    cache: Any = None,
 ) -> SweepReport:
     """Run the full grid and evaluate ``predicate`` on each outcome.
 
@@ -127,8 +129,20 @@ def sweep(
     *portable* (live process objects replaced by picklable summaries,
     traces dropped), and the report is identical for every ``N`` —
     ``workers=1`` is the in-process reference the pool must match.
+
+    ``cache`` selects the persistent structural-sharing cache for the
+    duration of the sweep: a directory path enables it, ``False``
+    disables it even when ``REPRO_CACHE_DIR`` is set, and ``None``
+    (the default) leaves the ambient selection alone.  Either way the
+    sweep ends by releasing the shared-store registry
+    (:func:`repro.arrays.store.release_shared_stores`): gauges are
+    recorded, cache deltas are flushed, and unrelated workloads start
+    from empty pools.  The cache never changes a report — cold, warm
+    and disabled runs are pickle-equal.
     """
     from repro.analysis import parallel  # deferred: parallel imports us
+    from repro.arrays import persist as _persist
+    from repro.arrays.store import release_shared_stores
 
     makers = list(adversary_makers)
     context = parallel.SweepContext(
@@ -142,12 +156,22 @@ def sweep(
         is_null=is_null,
     )
     cells = parallel.build_cells(input_patterns, fault_sets, makers, seeds)
-    if workers is None:
-        outcomes = [
-            parallel.run_cell(context, cell, portable=False) for cell in cells
-        ]
-    else:
-        outcomes = parallel.execute_cells(context, cells, workers)
+    scope = (
+        _persist.using_cache(cache)
+        if cache is not None
+        else contextlib.nullcontext()
+    )
+    with scope:
+        try:
+            if workers is None:
+                outcomes = [
+                    parallel.run_cell(context, cell, portable=False)
+                    for cell in cells
+                ]
+            else:
+                outcomes = parallel.execute_cells(context, cells, workers)
+        finally:
+            release_shared_stores()
     return SweepReport(outcomes)
 
 

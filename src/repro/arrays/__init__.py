@@ -30,6 +30,7 @@ from repro.arrays.store import (
     ArrayStore,
     InternedArray,
     clear_shared_stores,
+    release_shared_stores,
     shared_store,
 )
 from repro.arrays.value_array import (
@@ -66,6 +67,7 @@ __all__ = [
     "ArrayStore",
     "InternedArray",
     "clear_shared_stores",
+    "release_shared_stores",
     "shared_store",
     "unique_leaves",
     "array_depth",

@@ -84,6 +84,11 @@ PURITY_EXEMPT = {
         "forwards shared_store_stats to the active observer's gauges "
         "(nondeterministic section; never protocol-visible)"
     ),
+    "release_shared_stores": (
+        "the one between-workload lifecycle helper: records the "
+        "registry gauges, flushes persistent-cache deltas, then drops "
+        "the registry — composing three observationally-pure steps"
+    ),
 }
 
 
@@ -105,6 +110,11 @@ class InternedArray(Tuple[Any, ...]):
     key_token: object
     store: "ArrayStore"
     _hash: int
+    # Stable structural digest, memoised lazily by
+    # repro.arrays.digest.content_digest (None = unstable leaves).
+    # key_token distinguishes typed structure within this process;
+    # the content digest is its cross-process, cross-kernel twin.
+    _content_digest: Optional[bytes]
 
     def __hash__(self) -> int:
         # The standard tuple hash, cached: children are canonical
@@ -145,6 +155,10 @@ class ArrayStore:
         # repro.arrays.flat.tables_for (typed Any: flat imports this
         # module, not the other way around).
         self.flat_tables: Optional[Any] = None
+        # Cross-run persistence bookkeeping (watermark + digest index),
+        # attached lazily by repro.arrays.persist under the same
+        # one-way import rule as flat_tables.
+        self.persist_state: Optional[Any] = None
 
     def __len__(self) -> int:
         """Number of unique canonical nodes interned so far."""
@@ -320,6 +334,13 @@ def shared_store(n: int) -> ArrayStore:
     if store is None:
         store = ArrayStore(n)
         _SHARED_STORES[n] = store
+        # Deferred import: persist imports this module.  A fresh
+        # shared store is warmed from the active persistent cache (a
+        # no-op when caching is off), so repeated subtrees are shared
+        # across *runs*, not just within one.
+        from repro.arrays import persist as _persist
+
+        _persist.warm_shared_store(store)
     return store
 
 
@@ -361,6 +382,24 @@ def shared_store_stats() -> Dict[str, int]:
         "stores": len(_SHARED_STORES),
         "high_water_nodes": _HIGH_WATER_NODES,
     }
+
+
+def release_shared_stores() -> None:
+    """End-of-workload registry release: observe, flush, clear.
+
+    The one helper every workload boundary goes through — the sweep
+    runner (serial and pooled), the bench harness between suites and
+    the fuzz campaign between workload groups.  It records the
+    ``arrays.shared_store.*`` gauges, flushes any persistent-cache
+    deltas (:func:`repro.arrays.persist.flush_active`; a no-op when
+    caching is off) while the stores are still alive, and then drops
+    the registry so unrelated workloads start from empty pools.
+    """
+    observe_shared_stores()
+    from repro.arrays import persist as _persist
+
+    _persist.flush_active()
+    clear_shared_stores()
 
 
 def observe_shared_stores() -> None:

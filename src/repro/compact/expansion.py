@@ -23,14 +23,39 @@ not be.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 import repro.obs.core as _obs
 from repro.arrays import flat as _flat
+from repro.arrays import persist as _persist
+from repro.arrays.digest import (
+    DIGEST_BYTES,
+    content_digest,
+    value_digest,
+    values_fingerprint,
+)
 from repro.arrays.partial import substitutive_apply
 from repro.arrays.store import ArrayStore, InternedArray
 from repro.errors import ProtocolViolation
 from repro.types import BOTTOM, ProcessId, SystemConfig, Value, is_bottom
+
+#: Protoflow taint: the persistent-cache fast path replays *recorded
+#: verdicts*, never raw bytes.  A phi_1 entry is the alphabet-
+#: membership verdict the inline filter would compute (keyed by the
+#: node's content digest under the alphabet fingerprint), and a deeper
+#: entry resolves only through the content digest of a result that a
+#: fully legality-filtered expansion produced in an earlier run —
+#: anything else decodes to ``None`` and falls back to the inline
+#: filter.
+TAINT_SANITIZERS = {
+    "_restore_expansion": (
+        "persistent-cache gate: returns the node only under a "
+        "recorded phi_1 alphabet verdict, a digest-resolved prior "
+        "expansion result, or None (= recompute through the inline "
+        "legality filter)"
+    ),
+}
 
 
 class ExpansionState:
@@ -59,6 +84,16 @@ class ExpansionState:
         # only through irrevocable OUT entries, so it never changes,
         # while an undefined one may become defined later.
         self._scalar_cache: Dict[Tuple[int, int], Any] = {}
+        # Cross-run persistence keys.  phi_1 verdicts depend only on
+        # the alphabet; phi_b for b > 1 is additionally a function of
+        # the OUT tables it chains through, so its cache entries carry
+        # a fingerprint over every decided (boundary' <= b) slot —
+        # equal tables, reached in any order, share entries; unequal
+        # tables can never collide.  None alphabet fingerprint means
+        # unstable members: persistence stays out of the way.
+        self._alpha_fp: Optional[str] = values_fingerprint(self._alphabet)
+        self._out_digests: Dict[Tuple[int, ProcessId], Optional[bytes]] = {}
+        self._out_fp_cache: Dict[int, Optional[str]] = {}
 
     # -- OUT table maintenance ---------------------------------------------
 
@@ -75,6 +110,8 @@ class ExpansionState:
                 f"{self._out[key]!r} to {value!r}"
             )
         self._out[key] = value
+        self._out_digests[key] = value_digest(value)
+        self._out_fp_cache.clear()
 
     def out(self, boundary: int, sender: ProcessId) -> Any:
         """The agreed value, or bottom if this slot has not decided."""
@@ -149,12 +186,91 @@ class ExpansionState:
             self._cache[cache_key] = result
         return result
 
+    def _out_fingerprint(self, boundary: int) -> Optional[str]:
+        """Hex fingerprint of every decided OUT slot phi_b can reach.
+
+        Order-insensitive over slots (sorted), covering boundaries
+        ``2..boundary`` — exactly the entries a boundary-``boundary``
+        expansion chains through.  ``None`` (poisoned) when any
+        reachable slot holds an undigestable value.
+        """
+        cached = self._out_fp_cache.get(boundary)
+        if cached is not None or boundary in self._out_fp_cache:
+            return cached
+        hasher = hashlib.blake2b(digest_size=DIGEST_BYTES)
+        fingerprint: Optional[str]
+        slots = sorted(
+            slot for slot in self._out_digests if 2 <= slot[0] <= boundary
+        )
+        for slot_boundary, sender in slots:
+            digest = self._out_digests[(slot_boundary, sender)]
+            if digest is None:
+                fingerprint = None
+                break
+            hasher.update(f"{slot_boundary}.{sender}.".encode("ascii"))
+            hasher.update(digest)
+        else:
+            fingerprint = hasher.hexdigest()
+        self._out_fp_cache[boundary] = fingerprint
+        return fingerprint
+
+    def _persist_key(
+        self, boundary: int, node: InternedArray
+    ) -> Optional[Tuple[str, str]]:
+        """(fingerprint detail, key) for a persistable expansion."""
+        if self._alpha_fp is None:
+            return None
+        digest = content_digest(node)
+        if digest is None:
+            return None
+        if boundary == 1:
+            detail = (
+                f"compact.phi1;n={self.config.n};alpha={self._alpha_fp}"
+            )
+        else:
+            out_fp = self._out_fingerprint(boundary)
+            if out_fp is None:
+                return None
+            detail = (
+                f"compact.expansion;n={self.config.n};"
+                f"alpha={self._alpha_fp};b={boundary};out={out_fp}"
+            )
+        return detail, digest.hex()
+
+    def _restore_expansion(
+        self,
+        cache: "_persist.PersistentStore",
+        boundary: int,
+        node: InternedArray,
+        stored: Any,
+    ) -> Optional[Any]:
+        """Decode a persisted expansion entry; ``None`` = treat as miss.
+
+        phi_1 entries are booleans (the node is its own expansion, or
+        bottom); deeper entries are the content-digest hex of the
+        result node, resolvable only if the cache has the live node —
+        otherwise recomputing is cheaper than trusting a dangling ref.
+        """
+        if boundary == 1:
+            if stored is True:
+                return node
+            if stored is False:
+                return BOTTOM
+            return None
+        if isinstance(stored, str) and self._store is not None:
+            return cache.node_for(self._store, stored)
+        return None
+
     def _expand_interned(self, boundary: int, node: InternedArray) -> Any:
         """``phi_b`` over the canonical DAG, memoised per unique node.
 
         Same defined-results-only caching rule as :meth:`expand`: OUT
         entries are irrevocable, so a defined expansion never changes,
         while an undefined one may become defined as decisions land.
+        The persistent cache follows the same rule, except phi_1
+        *negative* verdicts are persisted too (alphabet membership
+        never changes, so they are stable — mirroring the flat
+        kernel's verdict column).
         """
         key = (boundary, node.key_token)
         cached = self._node_cache.get(key)
@@ -163,6 +279,20 @@ class ExpansionState:
             if observer is not None:
                 observer.count("compact.expansion.hit")
             return cached
+        cache = _persist.active()
+        persist_key: Optional[Tuple[str, str]] = None
+        if cache is not None:
+            persist_key = self._persist_key(boundary, node)
+            if persist_key is not None:
+                stored = cache.map_get(persist_key[0], persist_key[1])
+                if stored is not _persist.MISSING:
+                    restored = self._restore_expansion(
+                        cache, boundary, node, stored
+                    )
+                    if restored is not None:
+                        if not is_bottom(restored):
+                            self._node_cache[key] = restored
+                        return restored
         flat_kernel = _flat.flat_enabled()
         if boundary == 1:
             # phi_1 is the identity on value arrays; the node IS its
@@ -208,7 +338,28 @@ class ExpansionState:
             observer = _obs.ACTIVE
             if observer is not None:
                 observer.count("compact.expansion.miss")
+            if cache is not None and persist_key is not None:
+                self._record_expansion(cache, persist_key, boundary, result)
+        elif boundary == 1 and cache is not None and persist_key is not None:
+            # Stable negative: alphabet membership never changes.
+            cache.map_put(persist_key[0], persist_key[1], False)
         return result
+
+    def _record_expansion(
+        self,
+        cache: "_persist.PersistentStore",
+        persist_key: Tuple[str, str],
+        boundary: int,
+        result: Any,
+    ) -> None:
+        if boundary == 1:
+            cache.map_put(persist_key[0], persist_key[1], True)
+            return
+        if type(result) is not InternedArray or self._store is None:
+            return
+        digest_hex = cache.register_node(self._store, result)
+        if digest_hex is not None:
+            cache.map_put(persist_key[0], persist_key[1], digest_hex)
 
     def _leaf_is_value(self, leaf: Any) -> bool:
         """Whether one leaf is in ``V`` (the ``phi_1`` domain test)."""

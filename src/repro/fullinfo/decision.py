@@ -38,6 +38,14 @@ import numpy as np
 
 import repro.obs.core as _obs
 from repro.arrays import flat as _flat
+from repro.arrays import persist as _persist
+from repro.arrays.digest import (
+    content_digest,
+    decode_value,
+    encode_value,
+    value_digest,
+    values_fingerprint,
+)
 from repro.arrays.store import InternedArray
 from repro.arrays.value_array import array_depth, unique_leaves
 from repro.core.automaton import AutomatonProtocol
@@ -102,7 +110,12 @@ class DerivedDecisionRule:
     run as few times as possible).
     """
 
-    def __init__(self, protocol: AutomatonProtocol, horizon: Optional[int] = None):
+    def __init__(
+        self,
+        protocol: AutomatonProtocol,
+        horizon: Optional[int] = None,
+        persist_key: Optional[str] = None,
+    ):
         self.protocol = protocol
         self.horizon = (
             horizon if horizon is not None else protocol.rounds_to_decide
@@ -113,14 +126,49 @@ class DerivedDecisionRule:
         # pays for the top layer.  Sound because ``f_p`` is a pure
         # function of (process, sub-array) for a fixed protocol.
         self._memo: Dict[Tuple[ProcessId, Any], Any] = {}
+        # Cross-run decision memo, opt-in: ``gamma_p(f_p(s))`` is a
+        # pure function of (protocol, process, typed structure), but a
+        # protocol has no intrinsic stable identity — the caller must
+        # assert one.  Passing ``persist_key`` declares that every run
+        # using this key builds an equivalent protocol, which makes a
+        # decision keyed (key, n, process, content digest) valid in the
+        # persistent cache.
+        self.persist_key = persist_key
+        self._persist_detail: Optional[str] = (
+            None
+            if persist_key is None
+            else (
+                f"derived.decision;key={persist_key};"
+                f"n={protocol.config.n}"
+            )
+        )
 
     def __call__(self, state: Any, simulated_round: int, process_id: ProcessId) -> Value:
         if self.horizon is not None and simulated_round < self.horizon:
             return BOTTOM
+        detail = self._persist_detail
+        cache = _persist.active() if detail is not None else None
+        cache_key: Optional[str] = None
+        if cache is not None and type(state) is InternedArray:
+            digest = content_digest(state)
+            if digest is not None:
+                cache_key = f"{digest.hex()}:{process_id}"
+                assert detail is not None  # cache implies detail
+                stored = cache.map_get(detail, cache_key)
+                if stored is not _persist.MISSING:
+                    try:
+                        return decode_value(stored)
+                    except (ValueError, LookupError, TypeError):
+                        pass  # poisoned entry: recompute
         reconstructed = reconstruct_state(
             self.protocol, process_id, state, self._memo
         )
-        return self.protocol.decision(process_id, reconstructed)
+        value = self.protocol.decision(process_id, reconstructed)
+        if cache is not None and cache_key is not None and detail is not None:
+            encoded = encode_value(value)
+            if encoded is not None:
+                cache.map_put(detail, cache_key, encoded)
+        return value
 
 
 def eig_byzantine_decision(
@@ -145,9 +193,63 @@ def eig_byzantine_decision(
         before resolution (defence against garbage leaves).
     """
     with _obs.span("eig.decision"):
-        return _resolve_eig_decision(
+        # The resolution is a pure function of (typed structure, n, t,
+        # default, alphabet) — process_id does not enter it — so a
+        # content-digested outcome from an earlier run is the outcome.
+        cache = _persist.active()
+        key: Optional[Tuple[str, str]] = None
+        if cache is not None and type(state) is InternedArray:
+            key = _eig_persist_key(state, n, t, default, alphabet)
+            if key is not None:
+                stored = cache.map_get(key[0], key[1])
+                if stored is not _persist.MISSING:
+                    try:
+                        return decode_value(stored)
+                    except (ValueError, LookupError, TypeError):
+                        pass  # poisoned entry: recompute
+        value = _resolve_eig_decision(
             state, n, t, process_id, default, alphabet
         )
+        if cache is not None and key is not None:
+            encoded = encode_value(value)
+            if encoded is not None:
+                cache.map_put(key[0], key[1], encoded)
+        return value
+
+
+def _eig_persist_key(
+    state: InternedArray,
+    n: int,
+    t: int,
+    default: Value,
+    alphabet: Optional[Sequence[Value]],
+) -> Optional[Tuple[str, str]]:
+    """(fingerprint detail, key) for a persistable EIG decision.
+
+    ``None`` whenever any parameter is unstable under content
+    digesting — the cache then never sees the call.  A hit can only be
+    served for a state whose recorded resolution succeeded, so the
+    depth-validation error path is preserved bit-for-bit (equal
+    digests imply equal depth).
+    """
+    state_digest = content_digest(state)
+    if state_digest is None:
+        return None
+    default_digest = value_digest(default)
+    if default_digest is None:
+        return None
+    if alphabet is None:
+        alpha_part = "-"
+    else:
+        alpha_fp = values_fingerprint(alphabet)
+        if alpha_fp is None:
+            return None
+        alpha_part = alpha_fp
+    detail = (
+        f"eig.decision;n={n};t={t};"
+        f"default={default_digest.hex()};alpha={alpha_part}"
+    )
+    return detail, state_digest.hex()
 
 
 def _resolve_eig_decision(

@@ -22,6 +22,8 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 import repro.obs.core as _obs
+from repro.arrays import persist as _persist
+from repro.arrays.digest import content_digest, values_fingerprint
 from repro.arrays.encoding import MessageSizer
 from repro.arrays.store import ArrayStore, InternedArray, shared_store
 from repro.arrays.value_array import validate_array
@@ -68,6 +70,14 @@ MESSAGE_BOUNDS = {
         "message() relays the entire state",
     ),
 }
+
+
+def _legality_detail(n: int, alphabet: Any) -> Optional[str]:
+    """Persistent-cache key prefix for legality verdicts, if stable."""
+    alpha_fp = values_fingerprint(alphabet)
+    if alpha_fp is None:
+        return None
+    return f"fullinfo.legality;n={n};alpha={alpha_fp}"
 
 
 class FullInformationProcess(Process):
@@ -121,6 +131,16 @@ class FullInformationProcess(Process):
         # re-validation the plain path pays every round collapses to
         # one dictionary hit.
         self._leaf_verdicts: Dict[Any, bool] = {}
+        # Persistent-cache key prefix for those verdicts: legality is
+        # a pure function of (typed structure, n, V), so a verdict
+        # keyed by content digest under the alphabet fingerprint is
+        # valid across processes and runs.  None when the alphabet has
+        # unstable members (caching then simply stays out of the way).
+        self._legality_detail: Optional[str] = (
+            None
+            if self._store is None
+            else _legality_detail(config.n, self._alphabet)
+        )
 
     def outgoing(self, round_number: Round) -> Dict[ProcessId, Any]:
         return broadcast(self.state, self.config)
@@ -175,15 +195,53 @@ class FullInformationProcess(Process):
         verdict = self._leaf_verdicts.get(node.key_token)
         observer = _obs.ACTIVE
         if verdict is None:
+            verdict = self._persisted_verdict(node)
+        if verdict is None:
             verdict = all(
                 self._leaf_ok(leaf) for _, leaf in node.leaves_unique
             )
             self._leaf_verdicts[node.key_token] = verdict
+            self._record_verdict(node, verdict)
             if observer is not None:
                 observer.count("fullinfo.legality.miss")
         elif observer is not None:
             observer.count("fullinfo.legality.hit")
         return node if verdict else _REJECT
+
+    def _persisted_verdict(self, node: InternedArray) -> Optional[bool]:
+        """Cross-run legality verdict, or ``None`` to compute afresh.
+
+        A bool in the persistent cache under this process's alphabet
+        fingerprint and the node's content digest was computed by the
+        same pure predicate in some earlier run; anything else (absent
+        entry, unstable node, poisoned value) falls through to
+        recomputation.
+        """
+        detail = self._legality_detail
+        if detail is None:
+            return None
+        cache = _persist.active()
+        if cache is None:
+            return None
+        digest = content_digest(node)
+        if digest is None:
+            return None
+        stored = cache.map_get(detail, digest.hex())
+        if not isinstance(stored, bool):
+            return None
+        self._leaf_verdicts[node.key_token] = stored
+        return stored
+
+    def _record_verdict(self, node: InternedArray, verdict: bool) -> None:
+        detail = self._legality_detail
+        if detail is None:
+            return
+        cache = _persist.active()
+        if cache is None:
+            return
+        digest = content_digest(node)
+        if digest is not None:
+            cache.map_put(detail, digest.hex(), verdict)
 
     def _is_legal_message(self, message: Any, expected_depth: int) -> bool:
         if message is BOTTOM:

@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import repro.obs.core as _obs
 from repro.analysis.parallel import SweepCell, SweepContext, execute_cells, run_cell
-from repro.arrays.store import clear_shared_stores, observe_shared_stores
+from repro.arrays.store import release_shared_stores
 from repro.errors import ConfigurationError
 from repro.fuzz.adversary import FuzzAdversary
 from repro.fuzz.case import FuzzCase
@@ -339,11 +339,11 @@ def run_campaign(settings: CampaignSettings) -> CampaignReport:
                     group, specs, scenarios, group_results
                 ))
             # Each group's interned state is unrelated to the next
-            # group's, so drop the shared stores between them (after
-            # recording their size gauges) instead of letting the
-            # process-wide registry grow for the whole campaign.
-            observe_shared_stores()
-            clear_shared_stores()
+            # group's, so release the shared stores between them
+            # (gauges recorded, persistent-cache deltas flushed)
+            # instead of letting the process-wide registry grow for
+            # the whole campaign.
+            release_shared_stores()
 
         if settings.shrink and failing_cases:
             with _obs.span("fuzz.shrink"):

@@ -194,6 +194,97 @@ class TestBench:
         assert code == 2
         assert "baseline" in out
 
+    def test_cache_dir_records_warm_vs_cold_legs(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "bench.json"
+        code, out = run_cli(
+            capsys, "bench", "--quick", "--workers", "1",
+            "--suite", "fullinfo-deep", "--output", str(output),
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert code == 0
+        report = json.loads(output.read_text())
+        assert report["cache_dir"] == str(tmp_path / "cache")
+        persist = report["suites"][0]["details"]["persist"]
+        assert persist["cold_wall_s"] > 0
+        assert persist["warm_wall_s"] > 0
+        assert persist["warm_counters"]["hit"] > 0
+        assert "miss" not in persist["warm_counters"]
+        assert (tmp_path / "cache" / "manifest.jsonl").is_file()
+
+
+class TestCache:
+    def _seed_cache(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        code, _ = run_cli(
+            capsys, "bench", "--quick", "--workers", "1",
+            "--suite", "fullinfo-deep",
+            "--output", str(tmp_path / "bench.json"),
+            "--cache-dir", str(cache_dir),
+        )
+        assert code == 0
+        return cache_dir
+
+    def test_stats(self, capsys, tmp_path):
+        import json
+
+        cache_dir = self._seed_cache(capsys, tmp_path)
+        code, out = run_cli(
+            capsys, "cache", "stats", "--cache-dir", str(cache_dir),
+            "--format", "json",
+        )
+        assert code == 0
+        stats = json.loads(out)
+        assert stats["segments"] > 0
+        assert stats["bytes"] > 0
+        code, out = run_cli(
+            capsys, "cache", "stats", "--cache-dir", str(cache_dir)
+        )
+        assert code == 0
+        assert "segments:" in out
+
+    def test_verify_clean_and_corrupt(self, capsys, tmp_path):
+        cache_dir = self._seed_cache(capsys, tmp_path)
+        code, out = run_cli(
+            capsys, "cache", "verify", "--cache-dir", str(cache_dir)
+        )
+        assert code == 0
+        assert "ok" in out
+        segment = next(cache_dir.glob("seg-*.json"))
+        segment.write_bytes(b"junk")
+        from repro.arrays import persist
+
+        persist.forget_caches()  # the handler must re-read from disk
+        code, out = run_cli(
+            capsys, "cache", "verify", "--cache-dir", str(cache_dir)
+        )
+        assert code == 1
+        assert "sha-mismatch" in out
+
+    def test_gc(self, capsys, tmp_path):
+        import json
+
+        cache_dir = self._seed_cache(capsys, tmp_path)
+        code, out = run_cli(
+            capsys, "cache", "gc", "--cache-dir", str(cache_dir),
+            "--keep-days", "30", "--format", "json",
+        )
+        assert code == 0
+        assert json.loads(out)["removed"] == 0
+
+    def test_missing_cache_dir_exits_2(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        code, out = run_cli(capsys, "cache", "stats")
+        assert code == 2
+        assert "REPRO_CACHE_DIR" in out
+        code, out = run_cli(
+            capsys, "cache", "stats",
+            "--cache-dir", str(tmp_path / "nowhere"),
+        )
+        assert code == 2
+        assert "does not exist" in out
+
 
 class TestFuzz:
     def test_small_campaign_clean(self, capsys):
