@@ -481,14 +481,18 @@ def run_bench(
     events: Optional[pathlib.Path] = None,
     profile: bool = True,
     cache_dir: Optional[pathlib.Path] = None,
+    trace: bool = False,
 ) -> Dict[str, Any]:
     """Run the selected suites; returns the full JSON-ready report.
 
     With ``profile`` (the default) the bench runs under its own
     observer: each suite's JSON gains a ``profile`` span rollup, and
     ``events`` optionally streams the structured event log to a path.
-    ``profile=False`` runs with the null observer — the control used
-    when measuring instrumentation overhead (docs/observability.md).
+    ``trace`` additionally records causal ``deliver`` edges for every
+    serial envelope delivery (:mod:`repro.obs.trace`); it requires
+    ``events``.  ``profile=False`` runs with the null observer — the
+    control used when measuring instrumentation overhead
+    (docs/observability.md).
 
     ``cache_dir`` switches every suite to a cold-then-warm pair under
     the persistent structural-sharing cache
@@ -574,9 +578,17 @@ def run_bench(
             from repro.obs.spans import profile_dict
 
             sink = EventLog(events) if events is not None else None
-            with observing(Observer(events=sink)) as observer:
-                for name in names:
+            with observing(Observer(events=sink, trace=trace)) as observer:
+                for position, name in enumerate(names):
                     results.append(run_one(name, observer))
+                    if observer.events_on:
+                        # Per-suite telemetry rollup: progress + the
+                        # counter delta this suite contributed, so
+                        # `repro status` can read a half-finished
+                        # bench log.
+                        observer.emit_rollup(
+                            "suite", position, results[-1].executions
+                        )
         else:
             for name in names:
                 results.append(run_one(name))
@@ -751,5 +763,160 @@ def render_report(report: Dict[str, Any]) -> str:
         f"{totals['executions']:>6} {totals['executions_per_sec']:>8.1f} "
         f"{totals['total_bits']:>12} {totals['max_rounds']:>6} "
         f"{totals['violations']:>5}"
+    )
+    return "\n".join(lines)
+
+
+# -- perf trajectory across committed baselines ------------------------------
+
+
+def _trend_config(report: Dict[str, Any]) -> str:
+    """The comparability key for one report (docs/perf.md).
+
+    Reports are only mutually comparable when they ran the same suite
+    shape: quick flag, worker count, kernel, and whether a persistent
+    cache was attached.  The kernel *is* part of this key (unlike the
+    ``--compare`` gate, which deliberately allows cross-kernel
+    comparisons) because the trend view is about drift over time, not
+    kernel equivalence.
+    """
+    cache = "cache" if report.get("cache_dir") else "nocache"
+    return (
+        f"{'quick' if report.get('quick') else 'full'}"
+        f"/w{report.get('workers')}"
+        f"/{report.get('kernel') or 'python'}"
+        f"/{cache}"
+    )
+
+
+def trend_report(
+    directory: Optional[pathlib.Path] = None,
+    threshold: float = 0.25,
+    floor_s: float = 0.1,
+) -> Dict[str, Any]:
+    """Tabulate every committed ``BENCH_*.json`` as a perf trajectory.
+
+    Reports are grouped by comparability key (quick/workers/kernel/
+    cache) and ordered by file name (the date-stamped naming makes
+    that chronological); within a group, each suite's wall time is
+    compared against the *previous* report's and flagged when it
+    drifts by more than ``threshold`` in either direction (with the
+    same ``floor_s`` absolute floor the compare gate uses, so sub-
+    100ms suites don't flag on timer noise).  Deterministic-counter
+    drift (executions, bits, rounds, violations, errors) is always
+    flagged — that is a semantic change, not noise.
+    """
+    base = directory if directory is not None else pathlib.Path.cwd()
+    files = sorted(base.glob("BENCH_*.json"))
+    groups: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
+    unreadable: List[str] = []
+    for path in files:
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            unreadable.append(f"{path.name}: {error}")
+            continue
+        if not isinstance(report, dict) or "suites" not in report:
+            unreadable.append(f"{path.name}: not a bench report")
+            continue
+        groups.setdefault(_trend_config(report), []).append(
+            (path.name, report)
+        )
+    flags: List[str] = []
+    trend_groups: List[Dict[str, Any]] = []
+    for config in sorted(groups):
+        entries = groups[config]
+        rows: List[Dict[str, Any]] = []
+        previous: Dict[str, Dict[str, Any]] = {}
+        for file_name, report in entries:
+            for suite in report.get("suites", []):
+                name = suite["name"]
+                row = {
+                    "file": file_name,
+                    "suite": name,
+                    "wall_time_s": suite.get("wall_time_s"),
+                    "executions_per_sec": suite.get("executions_per_sec"),
+                    "executions": suite.get("executions"),
+                    "total_bits": suite.get("total_bits"),
+                    "max_rounds": suite.get("max_rounds"),
+                    "violations": suite.get("violations"),
+                    "errors": suite.get("errors"),
+                    "flags": [],
+                }
+                base_suite = previous.get(name)
+                if base_suite is not None:
+                    base_time = base_suite.get("wall_time_s") or 0.0
+                    wall = suite.get("wall_time_s") or 0.0
+                    if (
+                        base_time > 0
+                        and abs(wall - base_time) > base_time * threshold
+                        and abs(wall - base_time) > floor_s
+                    ):
+                        direction = (
+                            "slower" if wall > base_time else "faster"
+                        )
+                        flag = (
+                            f"wall {base_time:.3f}s -> {wall:.3f}s "
+                            f"({direction} by more than {threshold:.0%})"
+                        )
+                        row["flags"].append(flag)
+                        flags.append(f"{config}: {file_name}: {name}: {flag}")
+                    for field in _DETERMINISTIC_FIELDS:
+                        if (
+                            field in base_suite
+                            and suite.get(field) != base_suite[field]
+                        ):
+                            flag = (
+                                f"{field} drifted from "
+                                f"{base_suite[field]} to {suite.get(field)}"
+                            )
+                            row["flags"].append(flag)
+                            flags.append(
+                                f"{config}: {file_name}: {name}: {flag}"
+                            )
+                previous[name] = suite
+                rows.append(row)
+        trend_groups.append({"config": config, "rows": rows})
+    return {
+        "directory": str(base),
+        "reports": sum(len(entries) for entries in groups.values()),
+        "threshold": threshold,
+        "groups": trend_groups,
+        "flags": flags,
+        "unreadable": unreadable,
+    }
+
+
+def render_trend(report: Dict[str, Any]) -> str:
+    """Human-readable perf trajectory (the ``repro bench trend`` stdout)."""
+    if not report["reports"]:
+        return f"no BENCH_*.json reports found in {report['directory']}"
+    lines = [
+        f"bench trend — {report['reports']} report(s) in "
+        f"{report['directory']} (threshold {report['threshold']:.0%})"
+    ]
+    for group in report["groups"]:
+        lines.append("")
+        lines.append(f"[{group['config']}]")
+        lines.append(
+            f"  {'file':<34} {'suite':<22} {'time(s)':>8} {'exec/s':>9} "
+            f"{'bits':>12} {'flags'}"
+        )
+        for row in group["rows"]:
+            flag_text = "; ".join(row["flags"]) if row["flags"] else ""
+            lines.append(
+                f"  {row['file']:<34} {row['suite']:<22} "
+                f"{row['wall_time_s']:>8.3f} "
+                f"{row['executions_per_sec']:>9.1f} "
+                f"{row['total_bits']:>12} {flag_text}".rstrip()
+            )
+    if report["unreadable"]:
+        lines.append("")
+        for problem in report["unreadable"]:
+            lines.append(f"unreadable: {problem}")
+    lines.append("")
+    lines.append(
+        f"{len(report['flags'])} flag(s)" if report["flags"]
+        else "no drifts flagged"
     )
     return "\n".join(lines)

@@ -442,6 +442,17 @@ def execute_cells(
         worker_count = min(workers, len(chunks))
         busy_by_pid: Dict[int, float] = {}
         cells_by_pid: Dict[int, int] = {}
+        # Worker slots are assigned by first-appearance order in the
+        # deterministic collection sequence, so telemetry never leaks
+        # raw (scheduling-dependent) pids into the log.
+        slot_by_pid: Dict[int, int] = {}
+        if observer is not None and observer.events_on:
+            # Announce the plan so `repro status` can compute progress
+            # for an interrupted run from the artifact alone.
+            observer.emit(
+                "rollup", scope="plan", index=0, cells=len(cells),
+                counters={},
+            )
         pool_started = _now()
         with _obs.span("sweep.execute"), ProcessPoolExecutor(
             max_workers=worker_count, mp_context=mp_context
@@ -463,6 +474,22 @@ def execute_cells(
                             "chunk",
                             index=chunk_index,
                             cells=len(chunk_outcomes),
+                        )
+                        # Telemetry rollup: the counter delta this
+                        # chunk contributed (deterministic — worker
+                        # counters are absorbed in submission order).
+                        observer.emit_rollup(
+                            "chunk", chunk_index, len(chunk_outcomes)
+                        )
+                        slot = slot_by_pid.setdefault(
+                            worker_pid, len(slot_by_pid)
+                        )
+                        observer.emit_nondet(
+                            "worker_sample",
+                            chunk=chunk_index,
+                            worker=slot,
+                            cells=len(chunk_outcomes),
+                            busy_s=round(busy_s, 6),
                         )
                     busy_by_pid[worker_pid] = (
                         busy_by_pid.get(worker_pid, 0.0) + busy_s

@@ -97,6 +97,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "PATH.trace.jsonl",
     )
     run_ba.add_argument(
+        "--events-cap",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="rotate the event log into PATH.part-N files once a file "
+        "would exceed BYTES (requires --events)",
+    )
+    run_ba.add_argument(
+        "--trace",
+        action="store_true",
+        help="also emit causal deliver edges into the event log "
+        "(requires --events; see docs/observability.md, 'Causal "
+        "tracing')",
+    )
+    run_ba.add_argument(
         "--include-adversary-traffic",
         action="store_true",
         help="also meter faulty processors' traffic (diagnostics; the "
@@ -133,6 +148,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the perf suite and write BENCH_<date>.json "
         "(see docs/perf.md)",
+    )
+    bench.add_argument(
+        "mode",
+        nargs="?",
+        choices=("trend",),
+        default=None,
+        help="'trend': tabulate every committed BENCH_*.json as a "
+        "perf trajectory instead of running the suite",
+    )
+    bench.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="directory holding BENCH_*.json files (trend mode; "
+        "default: current directory)",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="wall-time drift fraction to flag in trend mode "
+        "(default 0.25)",
+    )
+    bench.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="trend report format (trend mode only)",
     )
     bench.add_argument(
         "--quick",
@@ -173,6 +216,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="record the suite's structured event log to PATH (JSONL)",
+    )
+    bench.add_argument(
+        "--trace",
+        action="store_true",
+        help="also record causal deliver edges for every serial "
+        "envelope delivery (requires --events; see "
+        "docs/observability.md)",
     )
     bench.add_argument(
         "--kernel",
@@ -252,13 +302,65 @@ def _build_parser() -> argparse.ArgumentParser:
         ("validate", "check every record against event schema v1"),
     ):
         sub = events_sub.add_parser(name, help=description)
-        sub.add_argument("path", help="event log (JSONL) to read")
+        sub.add_argument(
+            "path",
+            help="event log to read: a JSONL file (rotated .part-N "
+            "siblings are included automatically) or a directory of "
+            "logs",
+        )
         sub.add_argument(
             "--format",
             choices=("text", "json"),
             default="text",
             help="report format",
         )
+    export = events_sub.add_parser(
+        "export",
+        help="export to Chrome-trace/Perfetto JSON or a speedscope "
+        "profile (see docs/observability.md, 'Exporters')",
+    )
+    export.add_argument(
+        "path",
+        help="event log to read (file, rotated parts, or directory)",
+    )
+    export.add_argument(
+        "--format",
+        choices=("chrome", "speedscope"),
+        default="chrome",
+        help="output format: 'chrome' loads in Perfetto / "
+        "chrome://tracing, 'speedscope' at speedscope.app",
+    )
+    export.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="output JSON path (default: stdout)",
+    )
+
+    status = commands.add_parser(
+        "status",
+        help="summarize an in-flight or finished run from its event-"
+        "log artifacts alone (progress, per-worker throughput, cache "
+        "hit rates, top spans)",
+    )
+    status.add_argument(
+        "path",
+        help="event log: a JSONL file, a rotated .part-N sequence, or "
+        "a directory of logs (torn final lines of a killed run are "
+        "tolerated)",
+    )
+    status.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    status.add_argument(
+        "--top-spans",
+        type=int,
+        default=5,
+        help="how many spans to list (default 5)",
+    )
 
     lint = commands.add_parser(
         "lint",
@@ -342,6 +444,37 @@ def _build_parser() -> argparse.ArgumentParser:
         default="text",
         help="campaign report format",
     )
+    fuzz.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="record the campaign's structured event log to PATH "
+        "(JSONL; includes per-protocol telemetry rollups for "
+        "`repro status`)",
+    )
+    fuzz.add_argument(
+        "--events-cap",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="rotate the event log into PATH.part-N files once a file "
+        "would exceed BYTES (requires --events)",
+    )
+    fuzz.add_argument(
+        "--check-closedness",
+        action="store_true",
+        help="with --replay: re-run each case under a tracing "
+        "observer and cross-check the observed round structure "
+        "against the committed protoflow certificates "
+        "(docs/statics.md)",
+    )
+    fuzz.add_argument(
+        "--certificates",
+        default=None,
+        metavar="PATH",
+        help="certificate catalog for --check-closedness (default: "
+        "tools/protoflow_certificates.json)",
+    )
 
     return parser
 
@@ -368,12 +501,24 @@ def _command_run_ba(args) -> str:
     events_path = getattr(args, "events", None)
     record = events_path is not None
 
+    trace_edges = getattr(args, "trace", False)
+    events_cap = getattr(args, "events_cap", None)
+    if trace_edges and not record:
+        return "error: --trace requires --events", 2
+    if events_cap is not None and not record:
+        return "error: --events-cap requires --events", 2
+
     scope: Any
     if record:
         from repro.obs.core import Observer, observing
         from repro.obs.events import EventLog
 
-        scope = observing(Observer(events=EventLog(events_path)))
+        scope = observing(
+            Observer(
+                events=EventLog(events_path, cap_bytes=events_cap),
+                trace=trace_edges,
+            )
+        )
     else:
         scope = contextlib.nullcontext()
     with scope:
@@ -499,15 +644,35 @@ def _command_bench(args):
         default_output_path,
         profile_regressions,
         render_report,
+        render_trend,
         run_bench,
+        trend_report,
         write_report,
     )
+
+    if args.mode == "trend":
+        import json
+
+        directory = (
+            pathlib.Path(args.dir) if args.dir is not None
+            else pathlib.Path.cwd()
+        )
+        if not directory.is_dir():
+            return f"error: {directory} is not a directory", 2
+        report = trend_report(directory, threshold=args.threshold)
+        if args.format == "json":
+            rendered = json.dumps(report, indent=2)
+        else:
+            rendered = render_trend(report)
+        return rendered, (1 if report["flags"] else 0)
 
     workers = args.workers
     if workers is None:
         workers = min(4, os.cpu_count() or 1)
     if workers < 1:
         return f"error: --workers must be >= 1, got {workers}", 2
+    if args.trace and args.events is None:
+        return "error: --trace requires --events", 2
     baseline = None
     if args.compare is not None:
         baseline_path = pathlib.Path(args.compare)
@@ -537,6 +702,7 @@ def _command_bench(args):
                     if args.cache_dir is not None
                     else None
                 ),
+                trace=args.trace,
             )
     except KeyError as error:
         return f"error: {error.args[0]}", 2
@@ -633,7 +799,7 @@ def _command_cache(args):
 def _command_events(args):
     import json
 
-    from repro.obs.events import read_jsonl, validate_records
+    from repro.obs.events import read_log, validate_records
     from repro.obs.summarize import (
         profile_records,
         render_profile,
@@ -642,9 +808,37 @@ def _command_events(args):
     )
 
     try:
-        records = read_jsonl(args.path)
+        records = read_log(args.path)
     except (OSError, ValueError) as error:
         return f"error: {error}", 2
+
+    if args.events_command == "export":
+        import pathlib
+
+        from repro.obs.export import (
+            chrome_trace,
+            speedscope_profile,
+            validate_chrome_trace,
+        )
+
+        if args.format == "speedscope":
+            payload = speedscope_profile(records)
+        else:
+            payload = chrome_trace(records)
+            problems = validate_chrome_trace(payload)
+            if problems:
+                body = "\n".join(problems)
+                return f"error: exported trace is invalid:\n{body}", 1
+        rendered = json.dumps(payload, indent=1, sort_keys=True)
+        if args.output is not None:
+            target = pathlib.Path(args.output)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(rendered + "\n")
+            return (
+                f"wrote {args.format} export of {len(records)} "
+                f"record(s) to {target}"
+            )
+        return rendered
 
     if args.events_command == "validate":
         problems = validate_records(records)
@@ -670,6 +864,24 @@ def _command_events(args):
     if args.format == "json":
         return json.dumps(profile, indent=2)
     return render_profile(profile)
+
+
+def _command_status(args):
+    import json
+    import pathlib
+
+    from repro.obs.rollup import load_status, render_status
+
+    path = pathlib.Path(args.path)
+    if not path.exists():
+        return f"error: {path} does not exist", 2
+    try:
+        status = load_status(path, top_spans=args.top_spans)
+    except OSError as error:
+        return f"error: {error}", 2
+    if args.format == "json":
+        return json.dumps(status, indent=2)
+    return render_status(status)
 
 
 def _command_lint(args):
@@ -752,6 +964,9 @@ def _command_fuzz(args):
     from repro.fuzz.case import load_case, load_corpus
     from repro.fuzz.protocols import DEFAULT_PROTOCOLS
 
+    if args.check_closedness and args.replay is None:
+        return "error: --check-closedness requires --replay", 2
+
     if args.replay is not None:
         path = pathlib.Path(args.replay)
         if path.is_dir():
@@ -762,6 +977,46 @@ def _command_fuzz(args):
             entries = [(path, load_case(path))]
         else:
             return f"error: {path} is neither a case file nor a corpus", 2
+        if args.check_closedness:
+            from repro.statics.crosscheck import (
+                DEFAULT_CERTIFICATES,
+                check_case,
+                load_certificates,
+                render_cross_check,
+            )
+
+            certificates_path = pathlib.Path(
+                args.certificates
+                if args.certificates is not None
+                else DEFAULT_CERTIFICATES
+            )
+            try:
+                certificates = load_certificates(certificates_path)
+            except (OSError, ValueError) as error:
+                return f"error: {error}", 2
+            cases = []
+            for case_path, case in entries:
+                try:
+                    cases.append(check_case(case, certificates))
+                except ConfigurationError as error:
+                    return f"error: {case_path.name}: {error}", 2
+            report = {
+                "corpus": str(path),
+                "certificates": str(certificates_path),
+                "cases": cases,
+                "disagreements": [
+                    entry["case"] for entry in cases
+                    if not entry["agrees"]
+                ],
+                "ok": all(entry["agrees"] for entry in cases),
+            }
+            import json
+
+            if args.format == "json":
+                rendered = json.dumps(report, indent=2)
+            else:
+                rendered = render_cross_check(report)
+            return rendered, (0 if report["ok"] else 1)
         lines = []
         failures = 0
         for case_path, case in entries:
@@ -780,6 +1035,8 @@ def _command_fuzz(args):
         )
         return "\n".join(lines), (1 if failures else 0)
 
+    if args.events_cap is not None and args.events is None:
+        return "error: --events-cap requires --events", 2
     protocols = tuple(args.protocol) if args.protocol else DEFAULT_PROTOCOLS
     settings = CampaignSettings(
         seed=args.seed,
@@ -791,14 +1048,31 @@ def _command_fuzz(args):
         shrink=args.shrink or args.corpus is not None,
         corpus_dir=args.corpus,
     )
+    scope: Any
+    if args.events is not None:
+        from repro.obs.core import Observer, observing
+        from repro.obs.events import EventLog
+
+        scope = observing(
+            Observer(
+                events=EventLog(args.events, cap_bytes=args.events_cap)
+            )
+        )
+    else:
+        import contextlib
+
+        scope = contextlib.nullcontext()
     try:
-        report = run_campaign(settings)
+        with scope:
+            report = run_campaign(settings)
     except ConfigurationError as error:
         return f"error: {error}", 2
     if args.format == "json":
         rendered = report.to_json()
     else:
         rendered = report.render_text().rstrip("\n")
+    if args.events is not None and args.format != "json":
+        rendered += f"\nevents: wrote {args.events}"
     return rendered, (0 if report.clean else 1)
 
 
@@ -812,6 +1086,7 @@ _HANDLERS = {
     "bench": _command_bench,
     "cache": _command_cache,
     "events": _command_events,
+    "status": _command_status,
     "lint": _command_lint,
     "fuzz": _command_fuzz,
 }

@@ -292,6 +292,7 @@ def run_campaign(settings: CampaignSettings) -> CampaignReport:
     failing_cases: List[FuzzCase] = []
     executions = 0
     differential_checked = 0
+    protocol_seq = 0
 
     with _obs.span("fuzz.campaign"):
         for group, specs in _group_plan(settings):
@@ -316,6 +317,14 @@ def run_campaign(settings: CampaignSettings) -> CampaignReport:
                 group_results[spec.name] = results
                 if observer is not None:
                     observer.count("fuzz.cases", len(results))
+                    if observer.events_on:
+                        # Telemetry rollup per finished protocol so an
+                        # interrupted campaign's log still shows which
+                        # protocols completed and at what cost.
+                        observer.emit_rollup(
+                            "protocol", protocol_seq, len(results)
+                        )
+                protocol_seq += 1
                 for verdict in verdicts:
                     if verdict.failed:
                         failures.append(_failure_entry(verdict))

@@ -72,6 +72,11 @@ class Observer:
     spans:
         Whether :meth:`span` times regions (``False`` returns the
         no-op span).
+    trace:
+        Whether the runtime emits causal ``deliver`` edges (the raw
+        material of :mod:`repro.obs.trace`).  Requires an event sink;
+        off by default because one edge per delivered message is the
+        chattiest thing the log can record.
     """
 
     def __init__(
@@ -79,11 +84,14 @@ class Observer:
         events: Optional[EventLog] = None,
         counters: bool = True,
         spans: bool = True,
+        trace: bool = False,
     ) -> None:
         self.events = events
         self.events_on = events is not None
         self.counters_on = counters
         self.spans_on = spans
+        self.trace_on = trace and self.events_on
+        self._rollup_mark: Dict[str, int] = {}
         self.registry = InstrumentRegistry()
         self.profile = SpanProfile()
         self._span_stack: List[str] = []
@@ -114,6 +122,29 @@ class Observer:
     def emit_nondet(self, kind: str, **fields: Any) -> None:
         """Append one wall-clock-derived event, flagged as such."""
         self.emit(kind, nondeterministic=True, **fields)
+
+    def emit_rollup(self, scope: str, index: int, cells: int) -> None:
+        """Append one telemetry rollup: the counter delta since the
+        previous rollup.
+
+        Rollups let ``repro status`` reconstruct progress and cache
+        hit rates from a half-finished log: each record carries only
+        what changed since the last one, so summing deltas across an
+        interrupted log reproduces the registry state at the moment of
+        the kill.  Deterministic — counters hold logical quantities
+        only, and the delta baseline is per-observer state.
+        """
+        if not self.events_on:
+            return
+        counters = self.registry.counters()
+        delta = {
+            name: value - self._rollup_mark.get(name, 0)
+            for name, value in counters.items()
+            if value != self._rollup_mark.get(name, 0)
+        }
+        self._rollup_mark = counters
+        self.emit("rollup", scope=scope, index=index, cells=cells,
+                  counters=delta)
 
     # -- logical clock -----------------------------------------------------
 

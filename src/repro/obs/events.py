@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import re
 from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
 
 #: Bump on incompatible record-shape changes.
@@ -66,6 +67,17 @@ EVENT_FIELDS: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "non_null": (bool,),
     },
     "corrupt": {"sender": (int,), "receiver": (int,), "summary": (str,)},
+    # causal trace edges (emitted only when ``Observer(trace=True)``):
+    # one record per non-bottom payload actually delivered to a
+    # correct receiver, faulty senders included — the raw material of
+    # the post-hoc causal DAG (:mod:`repro.obs.trace`)
+    "deliver": {
+        "sender": (int,),
+        "receiver": (int,),
+        "bits": (int,),
+        "non_null": (bool,),
+        "faulty": (bool,),
+    },
     # state changes
     "state": {"process": (int,), "summary": (str,)},
     "decide": {
@@ -81,6 +93,26 @@ EVENT_FIELDS: Dict[str, Dict[str, Tuple[type, ...]]] = {
     },
     "cell_end": {"index": (int,), "holds": (bool, type(None))},
     "chunk": {"index": (int,), "cells": (int,)},
+    # cross-worker telemetry rollups: compact counter deltas streamed
+    # mid-run so ``repro status`` can reconstruct progress and cache
+    # hit rates from a half-finished log.  ``scope`` names the unit of
+    # work ("plan" announces a pool's cell total, "chunk" follows each
+    # returned pool chunk, "protocol" each fuzz protocol, "suite" each
+    # bench suite); ``counters`` is the registry delta since the
+    # previous rollup.
+    "rollup": {
+        "scope": (str,),
+        "index": (int,),
+        "cells": (int,),
+        "counters": (dict,),
+    },
+    # fuzz campaign summary (one per run_campaign under an observer)
+    "fuzz_campaign": {
+        "seed": (int,),
+        "executions": (int,),
+        "failures": (int,),
+        "shrunk": (int,),
+    },
     # persistence
     "checkpoint_save": {"path": (str,)},
     "checkpoint_load": {"path": (str,)},
@@ -89,11 +121,17 @@ EVENT_FIELDS: Dict[str, Dict[str, Tuple[type, ...]]] = {
     # nondeterministic section
     "profile": {"spans": (dict,), "gauges": (dict,)},
     "workers": {"workers": (list,), "wall_s": (float, int), "idle_s": (float, int)},
+    "worker_sample": {
+        "chunk": (int,),
+        "worker": (int,),
+        "cells": (int,),
+        "busy_s": (float, int),
+    },
 }
 
 #: Kinds whose records must be flagged ``"nondeterministic": true`` —
 #: they embed wall-clock measurements.
-NONDETERMINISTIC_KINDS = frozenset({"profile", "workers"})
+NONDETERMINISTIC_KINDS = frozenset({"profile", "workers", "worker_sample"})
 
 
 def json_safe(value: Any) -> Any:
@@ -109,6 +147,11 @@ def json_safe(value: Any) -> Any:
     return repr(value)
 
 
+#: Rollover part naming: ``<base>.jsonl.part-N`` (N starts at 1; the
+#: capped base file is part 0 of the sequence).
+_PART_RE = re.compile(r"^(?P<base>.+\.jsonl)\.part-(?P<n>\d+)$")
+
+
 class EventLog:
     """An append-only JSONL sink, in memory or streamed to a path.
 
@@ -116,12 +159,27 @@ class EventLog:
     ``json.dumps`` line per record, flushed on :meth:`close`) and are
     not retained; without one they accumulate in :attr:`records` for
     in-process inspection (tests, the summarizer).
+
+    ``cap_bytes`` bounds each on-disk file: once a write would push the
+    current file past the cap, the log rolls over to
+    ``<path>.part-1``, ``<path>.part-2``, … so million-event campaigns
+    never produce a single unbounded JSONL.  A record is never split
+    across parts, so each part remains independently valid JSONL
+    (``step`` continuity is a whole-sequence property; use
+    :func:`read_log` to reassemble).
     """
 
-    def __init__(self, path: Optional[Union[str, pathlib.Path]] = None):
+    def __init__(
+        self,
+        path: Optional[Union[str, pathlib.Path]] = None,
+        cap_bytes: Optional[int] = None,
+    ):
         self.path = pathlib.Path(path) if path is not None else None
+        self.cap_bytes = cap_bytes if path is not None else None
         self.records: List[Dict[str, Any]] = []
         self._handle: Optional[IO[str]] = None
+        self._part = 0
+        self._part_bytes = 0
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "w")
@@ -129,12 +187,30 @@ class EventLog:
     def write(self, record: Dict[str, Any]) -> None:
         """Append one record (already enveloped by the observer)."""
         if self._handle is not None:
-            self._handle.write(
+            line = (
                 json.dumps(record, separators=(", ", ": "), sort_keys=False)
                 + "\n"
             )
+            if (
+                self.cap_bytes is not None
+                and self._part_bytes > 0
+                and self._part_bytes + len(line) > self.cap_bytes
+            ):
+                self._rollover()
+            self._handle.write(line)
+            self._part_bytes += len(line)
         else:
             self.records.append(record)
+
+    def _rollover(self) -> None:
+        assert self._handle is not None and self.path is not None
+        self._handle.close()
+        self._part += 1
+        part_path = self.path.with_name(
+            f"{self.path.name}.part-{self._part}"
+        )
+        self._handle = open(part_path, "w")
+        self._part_bytes = 0
 
     def close(self) -> None:
         if self._handle is not None:
@@ -161,6 +237,86 @@ def read_jsonl(path: Union[str, pathlib.Path]) -> List[Dict[str, Any]]:
                     f"{path}:{line_number}: record is not a JSON object"
                 )
             records.append(record)
+    return records
+
+
+def read_jsonl_lenient(
+    path: Union[str, pathlib.Path],
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Best-effort load for in-flight or interrupted logs.
+
+    Unlike :func:`read_jsonl`, undecodable or non-object lines (a torn
+    final line of a killed writer, typically) are skipped rather than
+    raised; the skip count is returned alongside the good records so
+    ``repro status`` can report how much it ignored.
+    """
+    records: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
+            records.append(record)
+    return records, skipped
+
+
+def _part_index(path: pathlib.Path) -> Tuple[str, int]:
+    """Sort key placing ``x.jsonl`` before its ``x.jsonl.part-N``."""
+    match = _PART_RE.match(path.name)
+    if match is not None:
+        return match.group("base"), int(match.group("n"))
+    return path.name, 0
+
+
+def log_paths(path: Union[str, pathlib.Path]) -> List[pathlib.Path]:
+    """The ordered file sequence making up one (possibly rotated) log.
+
+    - a directory: every ``*.jsonl`` base log plus its rollover parts,
+      grouped by base name and ordered by part number (trace sidecars,
+      ``*.trace.jsonl``, carry a different schema and are excluded);
+    - a base ``x.jsonl`` file: the file followed by any
+      ``x.jsonl.part-N`` siblings;
+    - an explicit ``.part-N`` file: just that part.
+    """
+    root = pathlib.Path(path)
+    if root.is_dir():
+        candidates = [
+            child
+            for child in root.iterdir()
+            if child.is_file()
+            and (child.suffix == ".jsonl" or _PART_RE.match(child.name))
+            and not _part_index(child)[0].endswith(".trace.jsonl")
+        ]
+        return sorted(candidates, key=_part_index)
+    if _PART_RE.match(root.name):
+        return [root]
+    parts = [
+        sibling
+        for sibling in root.parent.glob(f"{root.name}.part-*")
+        if _PART_RE.match(sibling.name)
+    ]
+    return [root] + sorted(parts, key=_part_index)
+
+
+def read_log(path: Union[str, pathlib.Path]) -> List[Dict[str, Any]]:
+    """Load a log that may have been rotated into ``.part-N`` files.
+
+    ``path`` may be a single JSONL file (parts are discovered as
+    siblings), an explicit part, or a directory of logs; records come
+    back in logical-clock order across the whole sequence.
+    """
+    records: List[Dict[str, Any]] = []
+    for part in log_paths(path):
+        records.extend(read_jsonl(part))
     return records
 
 

@@ -126,6 +126,7 @@ class SynchronousNetwork:
         # below only pays for instrumentation it can actually reach.
         observer = _obs.ACTIVE
         events = observer is not None and observer.events_on
+        tracing = events and observer is not None and observer.trace_on
         self.round_number += 1
         round_number = self.round_number
         if observer is not None:
@@ -160,11 +161,13 @@ class SynchronousNetwork:
         for sender, per_receiver in correct_outgoing.items():
             self._deliver(round_number, sender, per_receiver,
                           incoming_by_receiver, metered=True,
-                          observer=observer, faulty=False)
+                          observer=observer, faulty=False,
+                          tracing=tracing)
         for sender, per_receiver in faulty_outgoing.items():
             self._deliver(round_number, sender, per_receiver,
                           incoming_by_receiver, metered=self.meter_adversary,
-                          observer=observer, faulty=True)
+                          observer=observer, faulty=True,
+                          tracing=tracing)
 
         self.adversary.observe_round(round_number, context, faulty_outgoing)
 
@@ -251,6 +254,7 @@ class SynchronousNetwork:
         metered: bool,
         observer: Optional[Observer] = None,
         faulty: bool = False,
+        tracing: bool = False,
     ) -> None:
         trace = self.trace
         events = observer is not None and observer.events_on
@@ -290,6 +294,25 @@ class SynchronousNetwork:
                 observer.emit(
                     "corrupt", sender=sender, receiver=receiver,
                     summary=summarise_payload(payload),
+                )
+            if tracing and incoming is not None:
+                # Causal trace edge: a non-bottom payload actually
+                # landing in a correct receiver's incoming row.  Faulty
+                # payloads are sized by the structural fallback — the
+                # protocol sizer may choke on Byzantine garbage, and a
+                # corrupt payload's "cost" is informational, not a
+                # canonical-form bit claim.
+                assert observer is not None
+                if faulty:
+                    edge_bits = _default_sizer(payload)
+                    edge_non_null = not is_bottom(payload)
+                else:
+                    edge_bits, edge_non_null = self._measured(
+                        payload, observer
+                    )
+                observer.emit(
+                    "deliver", sender=sender, receiver=receiver,
+                    bits=edge_bits, non_null=edge_non_null, faulty=faulty,
                 )
             if incoming is not None and trace is not None:
                 trace.record_envelope(

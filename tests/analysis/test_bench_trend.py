@@ -1,0 +1,145 @@
+"""``repro bench trend``: drift detection across committed baselines."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.analysis.bench import render_trend, trend_report
+
+
+def bench_report(quick=True, workers=1, kernel=None, cache_dir=None,
+                 suites=()):
+    return {
+        "schema_version": 1,
+        "quick": quick,
+        "workers": workers,
+        "kernel": kernel,
+        "cache_dir": cache_dir,
+        "suites": [dict(suite) for suite in suites],
+    }
+
+
+def suite(name="avalanche", wall=1.0, executions=100, bits=1000,
+          rounds=8, violations=0, errors=0):
+    return {
+        "name": name,
+        "wall_time_s": wall,
+        "executions_per_sec": round(executions / wall, 3),
+        "executions": executions,
+        "total_bits": bits,
+        "max_rounds": rounds,
+        "violations": violations,
+        "errors": errors,
+    }
+
+
+def write(directory, name, report):
+    (directory / name).write_text(json.dumps(report))
+
+
+class TestTrendReport:
+    def test_steady_wall_times_raise_no_flags(self, tmp_path):
+        write(tmp_path, "BENCH_2026-01-01.json",
+              bench_report(suites=[suite(wall=1.0)]))
+        write(tmp_path, "BENCH_2026-01-02.json",
+              bench_report(suites=[suite(wall=1.1)]))
+        report = trend_report(tmp_path)
+        assert report["reports"] == 2
+        assert report["flags"] == []
+
+    def test_slowdown_beyond_threshold_is_flagged(self, tmp_path):
+        write(tmp_path, "BENCH_2026-01-01.json",
+              bench_report(suites=[suite(wall=1.0)]))
+        write(tmp_path, "BENCH_2026-01-02.json",
+              bench_report(suites=[suite(wall=1.5)]))
+        report = trend_report(tmp_path)
+        assert len(report["flags"]) == 1
+        assert "slower" in report["flags"][0]
+
+    def test_speedup_is_flagged_too(self, tmp_path):
+        """Unexplained speedups drift the same as slowdowns."""
+        write(tmp_path, "BENCH_2026-01-01.json",
+              bench_report(suites=[suite(wall=1.5)]))
+        write(tmp_path, "BENCH_2026-01-02.json",
+              bench_report(suites=[suite(wall=1.0)]))
+        report = trend_report(tmp_path)
+        assert len(report["flags"]) == 1
+        assert "faster" in report["flags"][0]
+
+    def test_sub_floor_drift_is_timer_noise(self, tmp_path):
+        write(tmp_path, "BENCH_2026-01-01.json",
+              bench_report(suites=[suite(wall=0.010)]))
+        write(tmp_path, "BENCH_2026-01-02.json",
+              bench_report(suites=[suite(wall=0.020)]))
+        assert trend_report(tmp_path)["flags"] == []
+
+    def test_deterministic_counter_drift_always_flags(self, tmp_path):
+        write(tmp_path, "BENCH_2026-01-01.json",
+              bench_report(suites=[suite(bits=1000)]))
+        write(tmp_path, "BENCH_2026-01-02.json",
+              bench_report(suites=[suite(bits=1008)]))
+        report = trend_report(tmp_path)
+        assert len(report["flags"]) == 1
+        assert "total_bits drifted from 1000 to 1008" in report["flags"][0]
+
+    def test_different_configs_never_compare(self, tmp_path):
+        """Kernel is part of the comparability key."""
+        write(tmp_path, "BENCH_2026-01-01.json",
+              bench_report(kernel=None, suites=[suite(wall=1.0)]))
+        write(tmp_path, "BENCH_2026-01-02.json",
+              bench_report(kernel="flat", suites=[suite(wall=9.0)]))
+        report = trend_report(tmp_path)
+        assert report["flags"] == []
+        configs = [group["config"] for group in report["groups"]]
+        assert configs == ["quick/w1/flat/nocache", "quick/w1/python/nocache"]
+
+    def test_unreadable_files_are_reported_not_fatal(self, tmp_path):
+        write(tmp_path, "BENCH_2026-01-01.json",
+              bench_report(suites=[suite()]))
+        (tmp_path / "BENCH_garbage.json").write_text("{not json")
+        (tmp_path / "BENCH_shape.json").write_text('{"no": "suites"}')
+        report = trend_report(tmp_path)
+        assert report["reports"] == 1
+        assert len(report["unreadable"]) == 2
+
+    def test_committed_baselines_tabulate(self):
+        """The repo's own BENCH_*.json files parse into the trend."""
+        report = trend_report()
+        assert report["reports"] >= 1
+        rendered = render_trend(report)
+        assert "flag" in rendered
+
+
+class TestTrendCli:
+    def _run(self, *argv):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "bench", "trend", *argv],
+            env=env, capture_output=True, text=True,
+        )
+
+    def test_exit_zero_when_no_drift(self, tmp_path):
+        write(tmp_path, "BENCH_2026-01-01.json",
+              bench_report(suites=[suite(wall=1.0)]))
+        result = self._run("--dir", str(tmp_path))
+        assert result.returncode == 0
+        assert "no drifts flagged" in result.stdout
+
+    def test_exit_one_when_drift_flagged(self, tmp_path):
+        write(tmp_path, "BENCH_2026-01-01.json",
+              bench_report(suites=[suite(wall=1.0)]))
+        write(tmp_path, "BENCH_2026-01-02.json",
+              bench_report(suites=[suite(wall=2.0)]))
+        result = self._run("--dir", str(tmp_path))
+        assert result.returncode == 1
+        assert "slower" in result.stdout
+
+    def test_json_format(self, tmp_path):
+        write(tmp_path, "BENCH_2026-01-01.json",
+              bench_report(suites=[suite(wall=1.0)]))
+        result = self._run("--dir", str(tmp_path), "--format", "json")
+        assert result.returncode == 0
+        payload = json.loads(result.stdout)
+        assert payload["reports"] == 1

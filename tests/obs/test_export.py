@@ -1,0 +1,129 @@
+"""Exporters: Chrome-trace schema and speedscope profile shape."""
+
+import json
+
+from repro.adversary import EquivocatingAdversary
+from repro.compact.byzantine_agreement import run_compact_byzantine_agreement
+from repro.obs import EventLog, Observer, observing
+from repro.obs.export import (
+    SPAN_PID,
+    chrome_trace,
+    speedscope_profile,
+    validate_chrome_trace,
+)
+
+
+def traced_records(config4):
+    log = EventLog()
+    with observing(Observer(events=log, trace=True)):
+        run_compact_byzantine_agreement(
+            config4,
+            {1: 1, 2: 0, 3: 1, 4: 0},
+            value_alphabet=[0, 1],
+            k=2,
+            adversary=EquivocatingAdversary([4], 0, 1),
+        )
+    return log.records
+
+
+class TestChromeTrace:
+    def test_export_validates_against_the_schema(self, config4):
+        payload = chrome_trace(traced_records(config4))
+        assert validate_chrome_trace(payload) == []
+
+    def test_runs_become_processes_and_rounds_a_track(self, config4):
+        events = chrome_trace(traced_records(config4))["traceEvents"]
+        names = [
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert any(name.startswith("run r1") for name in names)
+        rounds = [e for e in events if e.get("cat") == "round"]
+        assert rounds
+        assert all(e["tid"] == 0 and e["ph"] == "X" for e in rounds)
+
+    def test_deliver_edges_become_balanced_flow_pairs(self, config4):
+        events = chrome_trace(traced_records(config4))["traceEvents"]
+        starts = [e for e in events if e["ph"] == "s"]
+        ends = [e for e in events if e["ph"] == "f"]
+        assert starts
+        assert len(starts) == len(ends)
+        delivers = sum(
+            1 for r in traced_records(config4) if r["kind"] == "deliver"
+        )
+        assert len(starts) == delivers
+        assert all(e["bp"] == "e" for e in ends)
+
+    def test_timestamps_are_the_logical_clock(self, config4):
+        records = traced_records(config4)
+        events = chrome_trace(records)["traceEvents"]
+        max_step = max(r["step"] for r in records)
+        run_events = [
+            e for e in events if e["ph"] != "M" and e["pid"] != SPAN_PID
+        ]
+        assert all(0 <= e["ts"] <= max_step for e in run_events)
+
+    def test_span_flame_lives_under_its_own_pid(self, config4):
+        events = chrome_trace(traced_records(config4))["traceEvents"]
+        flame = [
+            e for e in events
+            if e["pid"] == SPAN_PID and e["ph"] == "X"
+        ]
+        assert flame
+        # a child span is laid out inside its parent's extent
+        by_path = {e["args"]["path"]: e for e in flame}
+        for path, event in by_path.items():
+            if "/" not in path:
+                continue
+            parent = by_path.get(path.rsplit("/", 1)[0])
+            if parent is None:
+                continue
+            assert event["ts"] >= parent["ts"]
+
+    def test_export_is_deterministic_for_the_same_records(self, config4):
+        records = traced_records(config4)
+        first = json.dumps(chrome_trace(records), sort_keys=True)
+        second = json.dumps(chrome_trace(records), sort_keys=True)
+        assert first == second
+
+    def test_validator_rejects_malformed_payloads(self):
+        assert validate_chrome_trace([]) == ["payload is not a JSON object"]
+        assert validate_chrome_trace({}) == [
+            "'traceEvents' missing or not a list"
+        ]
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "x"}]}
+        )
+        assert any("missing field" in p for p in problems)
+        problems = validate_chrome_trace(
+            {"traceEvents": [
+                {"ph": "s", "name": "d", "id": 1, "pid": 1, "tid": 1,
+                 "ts": 0},
+            ]}
+        )
+        assert any("finish" in p for p in problems)
+
+
+class TestSpeedscope:
+    def test_profile_shape(self, config4):
+        payload = speedscope_profile(traced_records(config4))
+        assert payload["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        profile = payload["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert len(profile["samples"]) == len(profile["weights"])
+        frames = payload["shared"]["frames"]
+        for stack in profile["samples"]:
+            assert all(0 <= index < len(frames) for index in stack)
+
+    def test_weights_are_self_time(self, config4):
+        records = traced_records(config4)
+        payload = speedscope_profile(records)
+        profile = payload["profiles"][0]
+        assert all(weight >= 0 for weight in profile["weights"])
+        assert profile["endValue"] == round(sum(profile["weights"]), 6)
+
+    def test_empty_log_exports_an_empty_profile(self):
+        payload = speedscope_profile([])
+        assert payload["profiles"][0]["samples"] == []

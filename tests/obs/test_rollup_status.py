@@ -1,0 +1,170 @@
+"""Rollup records and ``repro status``: fleet telemetry from artifacts."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.analysis.sweeps import standard_adversary_makers, sweep
+from repro.avalanche.protocol import avalanche_factory
+from repro.obs import (
+    EventLog,
+    Observer,
+    load_status,
+    observing,
+    render_status,
+    status_from_records,
+    validate_records,
+)
+
+
+def pooled_sweep_log(config4, close=True):
+    log = EventLog()
+    patterns = [{p: p % 2 for p in config4.process_ids}]
+    with observing(Observer(events=log), close=close):
+        sweep(
+            avalanche_factory(), config4, patterns, [(3,)],
+            standard_adversary_makers()[:2], seeds=(0, 1),
+            run_full_rounds=3, workers=2,
+        )
+    return log.records
+
+
+class TestRollupRecords:
+    def test_pooled_sweep_emits_plan_and_chunk_rollups(self, config4):
+        records = pooled_sweep_log(config4)
+        assert validate_records(records) == []
+        rollups = [r for r in records if r["kind"] == "rollup"]
+        plans = [r for r in rollups if r["scope"] == "plan"]
+        chunks = [r for r in rollups if r["scope"] == "chunk"]
+        assert len(plans) == 1
+        assert plans[0]["cells"] == 4
+        assert chunks
+        assert sum(r["cells"] for r in chunks) == 4
+
+    def test_chunk_deltas_sum_to_the_final_counters(self, config4):
+        """Replaying the deltas reproduces the registry at any cut."""
+        records = pooled_sweep_log(config4)
+        summed = {}
+        for record in records:
+            if record["kind"] == "rollup":
+                for name, delta in record["counters"].items():
+                    summed[name] = summed.get(name, 0) + delta
+        final = next(
+            r["counters"] for r in records if r["kind"] == "counters"
+        )
+        for name, value in summed.items():
+            assert final[name] == value, name
+
+    def test_worker_samples_use_stable_slots(self, config4):
+        records = pooled_sweep_log(config4)
+        samples = [r for r in records if r["kind"] == "worker_sample"]
+        assert samples
+        assert all(r["nondeterministic"] is True for r in samples)
+        slots = {r["worker"] for r in samples}
+        # slots are densely numbered from 0 in first-seen order — the
+        # raw worker pids never reach the log
+        assert slots == set(range(len(slots)))
+        assert sum(r["cells"] for r in samples) == 4
+
+    def test_emit_rollup_reports_deltas_not_totals(self):
+        log = EventLog()
+        observer = Observer(events=log)
+        observer.registry.count("x.one", 5)
+        observer.emit_rollup("chunk", 0, 1)
+        observer.registry.count("x.one", 2)
+        observer.registry.count("x.two", 3)
+        observer.emit_rollup("chunk", 1, 1)
+        first, second = (
+            r for r in log.records if r["kind"] == "rollup"
+        )
+        assert first["counters"] == {"x.one": 5}
+        assert second["counters"] == {"x.one": 2, "x.two": 3}
+
+
+class TestStatus:
+    def test_complete_pooled_sweep(self, config4):
+        records = pooled_sweep_log(config4)
+        status = status_from_records(records)
+        assert status["phase"] == "complete"
+        assert status["cells"]["planned"] == 4
+        assert status["cells"]["done"] == 4
+        assert status["progress"] == 1.0
+        assert status["workers"]
+        assert status["pool"]["workers"] == 2
+        rendered = render_status(status)
+        assert "status: complete" in rendered
+        assert "progress 100.0%" in rendered
+        assert "per-worker throughput (nondeterministic):" in rendered
+
+    def test_interrupted_run_reconstructs_from_the_torn_log(
+        self, config4, tmp_path
+    ):
+        """The acceptance shape: a killed run, reconstructed from disk."""
+        records = pooled_sweep_log(config4)
+        path = tmp_path / "events.jsonl"
+        lines = [json.dumps(r, sort_keys=True) for r in records]
+        # cut before the final counters dump and tear the last line
+        cut = next(
+            i for i, r in enumerate(records) if r["kind"] == "counters"
+        )
+        torn = "\n".join(lines[:cut]) + "\n" + lines[cut][:20]
+        path.write_text(torn)
+        status = load_status(path)
+        assert status["phase"] == "in-flight"
+        assert status["skipped_lines"] == 1
+        assert status["cells"]["planned"] == 4
+        assert status["cells"]["done"] == 4
+        # counters reconstructed by summing rollup deltas
+        assert status["counters"]
+        rendered = render_status(status)
+        assert "in-flight" in rendered
+        assert "1 torn line(s) skipped" in rendered
+        assert "counters:" in rendered
+
+    def test_status_of_an_empty_log(self):
+        status = status_from_records([])
+        assert status["phase"] == "in-flight"
+        assert status["progress"] is None
+        assert render_status(status).startswith("status: in-flight")
+
+
+class TestFreshProcessGoldens:
+    """Satellite: byte-identical CLI output across fresh processes."""
+
+    def _env(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def _artifact(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        subprocess.run(
+            [sys.executable, "-m", "repro", "run-ba", "--t", "1",
+             "--events", str(path), "--trace"],
+            check=True, env=self._env(), capture_output=True,
+        )
+        return path
+
+    def _stdout(self, *argv):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            check=True, env=self._env(), capture_output=True,
+        )
+        return result.stdout
+
+    def test_status_renders_identical_bytes(self, tmp_path):
+        path = self._artifact(tmp_path)
+        outputs = [self._stdout("status", str(path)) for _ in range(2)]
+        assert outputs[0] == outputs[1]
+        assert b"status: complete" in outputs[0]
+
+    def test_profile_renders_identical_bytes(self, tmp_path):
+        path = self._artifact(tmp_path)
+        outputs = [
+            self._stdout("events", "profile", str(path),
+                         "--format", "text")
+            for _ in range(2)
+        ]
+        assert outputs[0] == outputs[1]
+        assert outputs[0].strip()

@@ -1,0 +1,169 @@
+"""Causal tracing: deliver edges, DAG assembly, dynamic closedness."""
+
+from repro.adversary import EquivocatingAdversary, SilentAdversary
+from repro.compact.byzantine_agreement import run_compact_byzantine_agreement
+from repro.obs import EventLog, Observer, observing, validate_records
+from repro.obs.trace import build_dags, check_closedness
+
+
+def traced_compact_ba(config4, adversary):
+    log = EventLog()
+    with observing(Observer(events=log, trace=True)):
+        run_compact_byzantine_agreement(
+            config4,
+            {1: 1, 2: 0, 3: 1, 4: 0},
+            value_alphabet=[0, 1],
+            k=2,
+            adversary=adversary,
+        )
+    return log.records
+
+
+class TestDeliverEvents:
+    def test_traced_records_validate(self, config4):
+        records = traced_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        assert validate_records(records) == []
+        assert any(r["kind"] == "deliver" for r in records)
+
+    def test_trace_off_means_no_deliver_records(self, config4):
+        log = EventLog()
+        with observing(Observer(events=log)):
+            run_compact_byzantine_agreement(
+                config4, {1: 1, 2: 0, 3: 1, 4: 0},
+                value_alphabet=[0, 1], k=2,
+                adversary=EquivocatingAdversary([4], 0, 1),
+            )
+        assert not any(r["kind"] == "deliver" for r in log.records)
+
+    def test_trace_requires_an_event_sink(self):
+        observer = Observer(events=None, trace=True)
+        assert observer.trace_on is False
+
+    def test_correct_deliver_bits_match_send_events(self, config4):
+        """A correct sender's deliver edge reuses the metered size."""
+        records = traced_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        sends = {
+            (r["round"], r["sender"], r["receiver"]): r["bits"]
+            for r in records if r["kind"] == "send"
+        }
+        correct_delivers = [
+            r for r in records
+            if r["kind"] == "deliver" and not r["faulty"]
+        ]
+        assert correct_delivers
+        for record in correct_delivers:
+            key = (record["round"], record["sender"], record["receiver"])
+            # deliveries to faulty receivers are dropped, so every
+            # correct deliver has a matching metered send
+            assert sends[key] == record["bits"]
+
+    def test_faulty_deliveries_are_marked(self, config4):
+        records = traced_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        faulty = [
+            r for r in records if r["kind"] == "deliver" and r["faulty"]
+        ]
+        assert faulty
+        assert all(r["sender"] == 4 for r in faulty)
+
+
+class TestCausalDag:
+    def test_one_dag_per_run_with_edges(self, config4):
+        records = traced_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        dags = build_dags(records)
+        assert len(dags) == 1
+        dag = dags[0]
+        assert dag.n == 4
+        assert dag.rounds >= 1
+        assert dag.deliver_edges()
+        assert dag.decisions
+
+    def test_deliver_edge_spans_one_round(self, config4):
+        records = traced_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        for edge in build_dags(records)[0].deliver_edges():
+            assert edge.dst[1] == edge.src[1] + 1
+
+    def test_bit_accounting_sums_per_round_and_channel(self, config4):
+        records = traced_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        dag = build_dags(records)[0]
+        total = sum(edge.bits for edge in dag.deliver_edges())
+        assert sum(dag.round_bits().values()) == total
+        assert sum(dag.channel_bits().values()) == total
+
+    def test_local_edges_connect_consecutive_states(self, config4):
+        records = traced_compact_ba(config4, SilentAdversary([4]))
+        dag = build_dags(records)[0]
+        locals_ = [e for e in dag.edges if e.kind == "local"]
+        assert locals_
+        for edge in locals_:
+            assert edge.src[0] == edge.dst[0]
+            assert edge.dst[1] == edge.src[1] + 1
+            assert edge.bits == 0
+
+    def test_to_json_round_trips_through_repr(self, config4):
+        import json
+
+        records = traced_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        payload = build_dags(records)[0].to_json()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestClosednessChecker:
+    def test_real_execution_is_closed(self, config4):
+        records = traced_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+        assert check_closedness(records) == []
+
+    def _closed_log(self, config4):
+        return traced_compact_ba(config4, EquivocatingAdversary([4], 0, 1))
+
+    def test_cross_round_delivery_is_flagged(self, config4):
+        records = [dict(r) for r in self._closed_log(config4)]
+        deliver = next(r for r in records if r["kind"] == "deliver")
+        deliver["round"] = deliver["round"] + 1
+        problems = check_closedness(records)
+        assert any("communication-closed" in p for p in problems)
+
+    def test_delivery_after_state_update_is_flagged(self, config4):
+        records = [dict(r) for r in self._closed_log(config4)]
+        # move the first deliver record after the round's last state
+        index = next(
+            i for i, r in enumerate(records) if r["kind"] == "deliver"
+        )
+        deliver = records.pop(index)
+        state_index = max(
+            i for i, r in enumerate(records)
+            if r["kind"] == "state" and r["round"] == deliver["round"]
+        )
+        records.insert(state_index + 1, deliver)
+        problems = check_closedness(records)
+        assert any("phase order violated" in p for p in problems)
+
+    def test_duplicate_channel_delivery_is_flagged(self, config4):
+        records = [dict(r) for r in self._closed_log(config4)]
+        index = next(
+            i for i, r in enumerate(records) if r["kind"] == "deliver"
+        )
+        records.insert(index, dict(records[index]))
+        problems = check_closedness(records)
+        assert any("delivered twice" in p for p in problems)
+
+    def test_delivery_outside_round_bracket_is_flagged(self):
+        records = [
+            {"v": 1, "kind": "run_start", "run": "r1", "round": 0,
+             "step": 1, "n": 4, "t": 1, "seed": 0, "adversary": "X",
+             "faulty": []},
+            {"v": 1, "kind": "deliver", "run": "r1", "round": 1,
+             "step": 2, "sender": 1, "receiver": 2, "bits": 8,
+             "non_null": True, "faulty": False},
+        ]
+        problems = check_closedness(records)
+        assert any("outside a round bracket" in p for p in problems)
+
+    def test_delivery_outside_any_run_is_flagged(self):
+        records = [
+            {"v": 1, "kind": "deliver", "run": None, "round": 1,
+             "step": 1, "sender": 1, "receiver": 2, "bits": 8,
+             "non_null": True, "faulty": False},
+        ]
+        assert any(
+            "outside any run" in p for p in check_closedness(records)
+        )
