@@ -127,6 +127,11 @@ class SweepContext:
     run_full_rounds: Optional[int]
     sizer: Optional[Callable[[Any], int]]
     is_null: Optional[Callable[[Any], bool]]
+    # Scheduler backend spec ("lockstep", "async", "async:<d>[:<s>]");
+    # a *name*, not an instance — schedulers carry per-execution state,
+    # so each cell resolves its own fresh one.  None honours
+    # REPRO_SCHEDULER (default lockstep).
+    scheduler: Optional[str] = None
 
 
 class ProcessSummary:
@@ -283,6 +288,7 @@ def run_cell(
             sizer=context.sizer,
             is_null=context.is_null,
             seed=cell.seed,
+            scheduler=context.scheduler,
         )
     holds, error = evaluate_predicate(context.predicate, result, context.config)
     if observer is not None:

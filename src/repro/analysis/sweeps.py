@@ -112,6 +112,7 @@ def sweep(
     is_null: Optional[Callable[[Any], bool]] = None,
     workers: Optional[int] = None,
     cache: Any = None,
+    scheduler: Optional[str] = None,
 ) -> SweepReport:
     """Run the full grid and evaluate ``predicate`` on each outcome.
 
@@ -129,6 +130,12 @@ def sweep(
     *portable* (live process objects replaced by picklable summaries,
     traces dropped), and the report is identical for every ``N`` —
     ``workers=1`` is the in-process reference the pool must match.
+
+    ``scheduler`` names the round-engine backend every cell runs under
+    (``"lockstep"``, ``"async"``, ``"async:<max_delay>[:<salt>]"``);
+    ``None`` honours ``REPRO_SCHEDULER``.  Communication-closed
+    protocols yield the same report under every backend
+    (docs/runtime.md), for any worker count.
 
     ``cache`` selects the persistent structural-sharing cache for the
     duration of the sweep: a directory path enables it, ``False``
@@ -154,6 +161,7 @@ def sweep(
         run_full_rounds=run_full_rounds,
         sizer=sizer,
         is_null=is_null,
+        scheduler=scheduler,
     )
     cells = parallel.build_cells(input_patterns, fault_sets, makers, seeds)
     scope = (

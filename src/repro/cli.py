@@ -117,6 +117,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also meter faulty processors' traffic (diagnostics; the "
         "paper's bounds meter correct traffic only)",
     )
+    run_ba.add_argument(
+        "--scheduler",
+        default=None,
+        metavar="BACKEND",
+        help="round-engine backend: 'lockstep' (default), 'async', or "
+        "'async:<max_delay>[:<salt>]' — communication-closed protocols "
+        "produce the identical execution under every backend "
+        "(docs/runtime.md); default honours REPRO_SCHEDULER",
+    )
 
     compare = commands.add_parser(
         "compare", help="the Section 5.6 comparison"
@@ -475,6 +484,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="certificate catalog for --check-closedness (default: "
         "tools/protoflow_certificates.json)",
     )
+    fuzz.add_argument(
+        "--scheduler",
+        default=None,
+        metavar="BACKEND",
+        help="round-engine backend for campaign executions and "
+        "--replay: 'lockstep' (default), 'async', or "
+        "'async:<max_delay>[:<salt>]' (docs/runtime.md); a corpus "
+        "case must replay to the same verdicts under every backend",
+    )
 
     return parser
 
@@ -498,6 +516,7 @@ def _command_run_ba(args) -> str:
     faulty = list(range(1, args.t + 1))
     adversary = ADVERSARY_CHOICES[args.adversary](faulty)
     meter_adversary = getattr(args, "include_adversary_traffic", False)
+    scheduler = getattr(args, "scheduler", None)
     events_path = getattr(args, "events", None)
     record = events_path is not None
 
@@ -541,6 +560,7 @@ def _command_run_ba(args) -> str:
                 seed=args.seed,
                 record_trace=record,
                 meter_adversary=meter_adversary,
+                scheduler=scheduler,
             )
             variant = "authenticated (zero overhead)"
         else:
@@ -559,6 +579,7 @@ def _command_run_ba(args) -> str:
                 seed=args.seed,
                 record_trace=record,
                 meter_adversary=meter_adversary,
+                scheduler=scheduler,
                 **kwargs,
             )
             variant = "compact (Corollary 10)"
@@ -571,6 +592,8 @@ def _command_run_ba(args) -> str:
     ]
     if meter_adversary:
         lines.append("(metering includes adversary traffic)")
+    if scheduler is not None:
+        lines.append(f"scheduler: {scheduler}")
     if record:
         lines.append(f"events: wrote {events_path}")
         trace_path = pathlib.Path(str(events_path) + ".trace.jsonl")
@@ -997,7 +1020,9 @@ def _command_fuzz(args):
             cases = []
             for case_path, case in entries:
                 try:
-                    cases.append(check_case(case, certificates))
+                    cases.append(check_case(
+                        case, certificates, scheduler=args.scheduler
+                    ))
                 except ConfigurationError as error:
                     return f"error: {case_path.name}: {error}", 2
             report = {
@@ -1021,7 +1046,7 @@ def _command_fuzz(args):
         failures = 0
         for case_path, case in entries:
             try:
-                outcome = replay_case(case)
+                outcome = replay_case(case, scheduler=args.scheduler)
             except ConfigurationError as error:
                 return f"error: {case_path.name}: {error}", 2
             if outcome.failed:
@@ -1047,6 +1072,7 @@ def _command_fuzz(args):
         workers=args.workers,
         shrink=args.shrink or args.corpus is not None,
         corpus_dir=args.corpus,
+        scheduler=args.scheduler,
     )
     scope: Any
     if args.events is not None:

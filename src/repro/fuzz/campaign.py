@@ -66,6 +66,12 @@ class CampaignSettings:
     shrink: bool = False
     corpus_dir: Optional[str] = None
     consistency_sample: int = 8
+    # Round-engine backend every execution runs under ("lockstep",
+    # "async", "async:<max_delay>[:<salt>]"); None honours
+    # REPRO_SCHEDULER.  The scheduler's delay/reordering/round-skew
+    # axis rides on its own RNG substream, so the same settings fuzz
+    # the identical scenario list under every backend.
+    scheduler: Optional[str] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -206,6 +212,7 @@ def _context_for(
     config: SystemConfig,
     rounds: Optional[int],
     mask: Tuple[Tuple[int, int], ...] = (),
+    scheduler: Optional[str] = None,
 ) -> SweepContext:
     def maker(faulty: Sequence[int]) -> FuzzAdversary:
         return FuzzAdversary(faulty, palette=spec.palette, mask=mask)
@@ -222,6 +229,7 @@ def _context_for(
         run_full_rounds=rounds,
         sizer=None,
         is_null=None,
+        scheduler=scheduler,
     )
 
 
@@ -249,12 +257,17 @@ class ReplayOutcome:
         return bool(self.violations)
 
 
-def replay_case(case: FuzzCase) -> ReplayOutcome:
+def replay_case(
+    case: FuzzCase, scheduler: Optional[str] = None
+) -> ReplayOutcome:
     """Re-execute one case serially with live processes and judge it.
 
     The single replay path: the shrinker's failure predicate, the
     corpus pytest replayer, and ``repro fuzz --replay`` all call this,
-    so a saved case means the same thing everywhere.
+    so a saved case means the same thing everywhere.  ``scheduler``
+    selects the round-engine backend; a corpus case must replay to the
+    same verdicts under every backend (the differential gate in
+    tests/fuzz/test_corpus.py and ``repro fuzz --replay --scheduler``).
     """
     spec = get_spec(case.protocol)
     config = SystemConfig(n=case.n, t=case.t)
@@ -265,7 +278,9 @@ def replay_case(case: FuzzCase) -> ReplayOutcome:
             f"unsupported configuration: {unsupported}"
         )
     rounds = case.rounds if case.rounds is not None else spec.default_rounds(config)
-    context = _context_for(spec, config, rounds, mask=case.mask)
+    context = _context_for(
+        spec, config, rounds, mask=case.mask, scheduler=scheduler
+    )
     outcome = run_cell(context, _cell_for(case, index=0), portable=False)
     violations = tuple(run_oracles(
         spec.oracles + spec.state_oracles, outcome.result
@@ -311,7 +326,8 @@ def run_campaign(settings: CampaignSettings) -> CampaignReport:
                     for scenario in scenarios
                 ]
                 verdicts, results = _run_protocol_cases(
-                    spec, config, cases, settings.workers
+                    spec, config, cases, settings.workers,
+                    scheduler=settings.scheduler,
                 )
                 executions += len(results)
                 group_results[spec.name] = results
@@ -333,7 +349,8 @@ def run_campaign(settings: CampaignSettings) -> CampaignReport:
                         ))
                 if spec.state_oracles:
                     checked, state_verdicts = _consistency_phase(
-                        spec, config, cases, settings.consistency_sample
+                        spec, config, cases, settings.consistency_sample,
+                        scheduler=settings.scheduler,
                     )
                     consistency_checked[spec.name] = checked
                     for verdict in state_verdicts:
@@ -387,9 +404,10 @@ def _run_protocol_cases(
     config: SystemConfig,
     cases: List[FuzzCase],
     workers: int,
+    scheduler: Optional[str] = None,
 ) -> Tuple[List[CaseVerdict], List[ExecutionResult]]:
     rounds = spec.default_rounds(config)
-    context = _context_for(spec, config, rounds)
+    context = _context_for(spec, config, rounds, scheduler=scheduler)
     cells = [_cell_for(case, index) for index, case in enumerate(cases)]
     with _obs.span("fuzz.execute"):
         outcomes = execute_cells(context, cells, workers)
@@ -411,6 +429,7 @@ def _consistency_phase(
     config: SystemConfig,
     cases: List[FuzzCase],
     sample: int,
+    scheduler: Optional[str] = None,
 ) -> Tuple[int, List[CaseVerdict]]:
     """Serially re-run a case prefix with live processes (state oracles).
 
@@ -420,7 +439,7 @@ def _consistency_phase(
     """
     checked = min(sample, len(cases))
     rounds = spec.default_rounds(config)
-    context = _context_for(spec, config, rounds)
+    context = _context_for(spec, config, rounds, scheduler=scheduler)
     verdicts: List[CaseVerdict] = []
     with _obs.span("fuzz.consistency"):
         for index in range(checked):

@@ -197,21 +197,29 @@ def check_closedness(records: List[Dict[str, Any]]) -> List[str]:
     - a ``deliver`` only occurs inside an open run and inside the
       round bracket (``round_start`` .. ``round_end``) it is stamped
       with — messages never leak across round boundaries;
-    - within a round, every delivery precedes every receiver state
-      update on the logical clock (the paper's send → receive →
-      state-change phase order);
+    - within a round, every delivery to a processor precedes *that
+      processor's* state update on the logical clock (the paper's
+      send → receive → state-change phase order, tracked per
+      receiver: under the async scheduler a processor whose closed
+      message set is complete legitimately changes state while late
+      messages are still in flight to *other* processors — the round
+      skew docs/runtime.md describes — but a message arriving at a
+      processor after its own round-``r`` state change could not have
+      been consumed in round ``r``, which is exactly a closedness
+      violation);
     - no ``(sender, receiver)`` channel delivers twice in one round —
       one envelope per channel per round is exactly the canonical
       form's message discipline.
 
     This is the dynamic counterpart of protoflow's static FLOW
     verdict: static analysis certifies the protocol *text* closed,
-    this certifies a particular *execution* closed.
+    this certifies a particular *execution* closed — under any
+    scheduler backend.
     """
     problems: List[str] = []
     run: Optional[str] = None
     open_round: Optional[int] = None
-    state_seen_in_round = False
+    state_changed: Set[int] = set()
     delivered: Set[Tuple[int, int]] = set()
     for index, record in enumerate(records):
         kind = record.get("kind")
@@ -223,7 +231,7 @@ def check_closedness(records: List[Dict[str, Any]]) -> List[str]:
             open_round = None
         elif kind == "round_start":
             open_round = int(record["round"])
-            state_seen_in_round = False
+            state_changed = set()
             delivered = set()
         elif kind == "round_end":
             open_round = None
@@ -246,13 +254,14 @@ def check_closedness(records: List[Dict[str, Any]]) -> List[str]:
                     f"{round_number} inside round {open_round} — not "
                     "communication-closed"
                 )
-            if state_seen_in_round:
+            receiver = int(record["receiver"])
+            if receiver in state_changed:
                 problems.append(
                     f"record {index}: run {run}: round {round_number}: "
-                    "deliver after a state update — send/receive phase "
-                    "order violated"
+                    f"deliver to {receiver} after its state update — "
+                    "send/receive phase order violated"
                 )
-            channel = (int(record["sender"]), int(record["receiver"]))
+            channel = (int(record["sender"]), receiver)
             if channel in delivered:
                 problems.append(
                     f"record {index}: run {run}: round {round_number}: "
@@ -261,7 +270,7 @@ def check_closedness(records: List[Dict[str, Any]]) -> List[str]:
             delivered.add(channel)
         elif kind == "state":
             if open_round is not None:
-                state_seen_in_round = True
+                state_changed.add(int(record["process"]))
     return problems
 
 

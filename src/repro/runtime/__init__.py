@@ -12,6 +12,10 @@ This package is that model, executable:
 * :mod:`repro.runtime.network` — delivers messages, letting an
   adversary speak for the faulty processors (with a full view of the
   round's correct traffic, i.e. a rushing adversary),
+* :mod:`repro.runtime.scheduler` — pluggable round backends: the
+  lockstep synchronous reference and an event-driven asynchronous
+  scheduler that recovers rounds via communication-closedness
+  (docs/runtime.md),
 * :mod:`repro.runtime.engine` — drives executions to completion and
   returns a structured result,
 * :mod:`repro.runtime.metrics` — exact per-round message/bit meters,
@@ -23,6 +27,13 @@ from repro.runtime.message import Envelope
 from repro.runtime.metrics import MessageMetrics, RoundUsage
 from repro.runtime.node import Process, broadcast
 from repro.runtime.network import SynchronousNetwork
+from repro.runtime.scheduler import (
+    AsyncScheduler,
+    LockstepScheduler,
+    Scheduler,
+    SCHEDULER_ENV,
+    resolve_scheduler,
+)
 from repro.runtime.engine import ExecutionResult, run_protocol
 from repro.runtime.trace import ExecutionTrace
 from repro.runtime.rng import derive_rng, make_rng
@@ -41,6 +52,11 @@ __all__ = [
     "Process",
     "broadcast",
     "SynchronousNetwork",
+    "Scheduler",
+    "LockstepScheduler",
+    "AsyncScheduler",
+    "SCHEDULER_ENV",
+    "resolve_scheduler",
     "ExecutionResult",
     "run_protocol",
     "ExecutionTrace",

@@ -10,7 +10,7 @@ experiments measure (decisions, decision rounds, bits, traces).
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 import repro.obs.core as _obs
 from repro.adversary.base import Adversary, PassiveAdversary
@@ -19,6 +19,7 @@ from repro.runtime.metrics import MessageMetrics
 from repro.runtime.network import SynchronousNetwork
 from repro.runtime.node import Process
 from repro.runtime.rng import derive_rng
+from repro.runtime.scheduler import Scheduler, resolve_scheduler
 from repro.runtime.trace import ExecutionTrace
 from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value
 
@@ -93,6 +94,7 @@ def run_protocol(
     record_trace: bool = False,
     seed: int = 0,
     meter_adversary: bool = False,
+    scheduler: Union[None, str, Scheduler] = None,
 ) -> ExecutionResult:
     """Run one execution to completion.
 
@@ -130,6 +132,13 @@ def run_protocol(
         Include faulty processors' traffic in the metrics — a
         diagnostics view; the paper's bounds meter correct traffic
         only (see :mod:`repro.runtime.metrics`).
+    scheduler:
+        Round-engine backend: a :class:`~repro.runtime.scheduler.
+        Scheduler` instance, a backend name (``"lockstep"``,
+        ``"async"``, ``"async:<max_delay>[:<salt>]"``), or ``None`` to
+        honour the ``REPRO_SCHEDULER`` environment variable (default
+        lockstep).  Communication-closed protocols produce the same
+        result under every backend; see docs/runtime.md.
     """
     adversary = adversary or PassiveAdversary()
     adversary.bind(config, derive_rng(seed, "adversary"))
@@ -154,6 +163,8 @@ def run_protocol(
         is_null=is_null,
         trace=trace,
         meter_adversary=meter_adversary,
+        scheduler=resolve_scheduler(scheduler),
+        seed=seed,
     )
 
     observer = _obs.ACTIVE

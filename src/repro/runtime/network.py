@@ -15,6 +15,13 @@ delivered as :data:`BOTTOM`, which the recipient can detect (and the
 paper's protocols do: "a single message that contains more than one
 value is obviously erroneous and is discarded immediately").
 
+Delivery ordering and the receive/state-change phase are owned by a
+pluggable :class:`~repro.runtime.scheduler.Scheduler` (phase 3 above);
+the network keeps the send/adversary phases, which every backend
+shares — the rushing adversary's full-round view is what serialises
+rounds globally.  The default backend is the lockstep reference;
+see :mod:`repro.runtime.scheduler` for the asynchronous one.
+
 Hot-path notes: sweeps run this loop millions of times, so the round
 loop (a) clones a preallocated all-:data:`BOTTOM` delivery row per
 receiver instead of growing dicts with ``setdefault``, (b) memoizes
@@ -35,6 +42,7 @@ from repro.obs.events import json_safe
 from repro.runtime.message import Envelope
 from repro.runtime.metrics import MessageMetrics
 from repro.runtime.node import Process
+from repro.runtime.scheduler import LockstepScheduler, Scheduler
 from repro.runtime.trace import ExecutionTrace
 from repro.types import BOTTOM, ProcessId, Round, SystemConfig, Value, is_bottom
 
@@ -76,6 +84,8 @@ class SynchronousNetwork:
         metrics: Optional[MessageMetrics] = None,
         trace: Optional[ExecutionTrace] = None,
         meter_adversary: bool = False,
+        scheduler: Optional[Scheduler] = None,
+        seed: int = 0,
     ):
         overlap = set(processes) & set(adversary.faulty_ids)
         if overlap:
@@ -119,6 +129,10 @@ class SynchronousNetwork:
         # hit.  Both entries are stable: the sizer and the null
         # predicate are pure functions of the payload value.
         self._interned_size_cache: Dict[Any, Tuple[int, bool]] = {}
+        self.scheduler = (
+            scheduler if scheduler is not None else LockstepScheduler()
+        )
+        self.scheduler.bind(self, seed)
 
     def run_round(self) -> Round:
         """Execute one full round; returns its (1-based) number."""
@@ -126,7 +140,6 @@ class SynchronousNetwork:
         # below only pays for instrumentation it can actually reach.
         observer = _obs.ACTIVE
         events = observer is not None and observer.events_on
-        tracing = events and observer is not None and observer.trace_on
         self.round_number += 1
         round_number = self.round_number
         if observer is not None:
@@ -153,54 +166,11 @@ class SynchronousNetwork:
                 self.adversary.outgoing(round_number, sender, context)
             )
 
-        # 3. Deliver and meter; then each correct processor's state change.
-        self._size_cache.clear()
-        incoming_by_receiver: Dict[ProcessId, Dict[ProcessId, Any]] = {
-            receiver: dict(self._bottom_row) for receiver in self.processes
-        }
-        for sender, per_receiver in correct_outgoing.items():
-            self._deliver(round_number, sender, per_receiver,
-                          incoming_by_receiver, metered=True,
-                          observer=observer, faulty=False,
-                          tracing=tracing)
-        for sender, per_receiver in faulty_outgoing.items():
-            self._deliver(round_number, sender, per_receiver,
-                          incoming_by_receiver, metered=self.meter_adversary,
-                          observer=observer, faulty=True,
-                          tracing=tracing)
-
-        self.adversary.observe_round(round_number, context, faulty_outgoing)
-
-        if self.trace is None and not events:
-            # Fast path: no snapshot or event bookkeeping at all.
-            for receiver, process in self.processes.items():
-                process.receive(round_number, incoming_by_receiver[receiver])
-        else:
-            # Lazy: render imports the engine, which imports us.
-            from repro.runtime.render import summarise_payload
-
-            for receiver, process in self.processes.items():
-                process.receive(round_number, incoming_by_receiver[receiver])
-                if self.trace is not None:
-                    self.trace.record_snapshot(
-                        round_number, receiver, process.snapshot()
-                    )
-                if events:
-                    assert observer is not None
-                    # Shape summary, never repr: full-information
-                    # snapshots are exponential and repr-ing them would
-                    # dominate an observed run.
-                    observer.emit(
-                        "state", process=receiver,
-                        summary=summarise_payload(
-                            process.snapshot(), limit=60
-                        ),
-                    )
-                    if process.decision_round == round_number:
-                        observer.emit(
-                            "decide", process=receiver,
-                            value=json_safe(process.decision),
-                        )
+        # 3. Deliver, observe, state-change — the scheduler's phase:
+        # delivery ordering and round advancement are backend policy.
+        self.scheduler.dispatch(
+            round_number, context, correct_outgoing, faulty_outgoing
+        )
         if events:
             assert observer is not None
             usage = self.metrics.round_usage(round_number)
@@ -211,6 +181,82 @@ class SynchronousNetwork:
                 bits=usage.bits,
             )
         return round_number
+
+    # -- scheduler-facing primitives --------------------------------------
+    #
+    # The pieces a Scheduler composes phase 3 from.  Keeping them on
+    # the network (rather than in each backend) pins the bookkeeping —
+    # metering, snapshots, state/decide events — to one implementation,
+    # so backends can only vary *ordering*, never *accounting*.
+
+    def fresh_delivery_rows(self) -> Dict[ProcessId, Dict[ProcessId, Any]]:
+        """A new all-:data:`BOTTOM` incoming map per correct receiver.
+
+        Also resets the per-round payload-identity size memo; call
+        exactly once per round, before any delivery.
+        """
+        self._size_cache.clear()
+        return {
+            receiver: dict(self._bottom_row) for receiver in self.processes
+        }
+
+    def record_state_change(
+        self,
+        round_number: Round,
+        receiver: ProcessId,
+        process: Process,
+        observer: Optional[Observer],
+        events: bool,
+    ) -> None:
+        """Post-``receive`` bookkeeping: snapshot, state/decide events."""
+        if self.trace is not None:
+            self.trace.record_snapshot(
+                round_number, receiver, process.snapshot()
+            )
+        if events:
+            # Lazy: render imports the engine, which imports us.
+            from repro.runtime.render import summarise_payload
+
+            assert observer is not None
+            # Shape summary, never repr: full-information snapshots are
+            # exponential and repr-ing them would dominate an observed
+            # run.
+            observer.emit(
+                "state", process=receiver,
+                summary=summarise_payload(process.snapshot(), limit=60),
+            )
+            if process.decision_round == round_number:
+                observer.emit(
+                    "decide", process=receiver,
+                    value=json_safe(process.decision),
+                )
+
+    def emit_deliver_edge(
+        self,
+        round_number: Round,
+        sender: ProcessId,
+        receiver: ProcessId,
+        payload: Any,
+        observer: Optional[Observer],
+        faulty: bool,
+    ) -> None:
+        """Emit one causal ``deliver`` edge outside :meth:`_deliver`.
+
+        Backends that realise their own delivery order (async) meter in
+        canonical order first and emit trace edges in schedule order
+        afterwards; the sizing rules here mirror :meth:`_deliver`'s
+        tracing block exactly.
+        """
+        assert observer is not None
+        if faulty:
+            edge_bits = _default_sizer(payload)
+            edge_non_null = not is_bottom(payload)
+        else:
+            edge_bits, edge_non_null = self._measured(payload, observer)
+        observer.emit(
+            "deliver", sender=sender, receiver=receiver,
+            bits=edge_bits, non_null=edge_non_null, faulty=faulty,
+        )
 
     def _measured(
         self, payload: Any, observer: Optional[Observer] = None

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 #: Fuzz protocol name -> the certificate keys its execution exercises
 #: (``tools/protoflow_certificates.json`` ``protocols`` keys).  A
@@ -76,12 +76,19 @@ def _static_verdicts(
     return verdicts
 
 
-def check_case(case: Any, certificates: Dict[str, Any]) -> Dict[str, Any]:
+def check_case(
+    case: Any,
+    certificates: Dict[str, Any],
+    scheduler: Optional[str] = None,
+) -> Dict[str, Any]:
     """Replay one corpus case under a tracing observer and cross-check.
 
     Returns a JSON-ready verdict entry; ``agrees`` is ``False`` only
     when the static certificate promises closedness (``closed`` or
-    ``waived``) and the observed execution violates it.
+    ``waived``) and the observed execution violates it.  ``scheduler``
+    selects the round-engine backend for the replay: a certified-
+    closed protocol's trace must pass the dynamic checker under every
+    backend, async delivery order included (docs/runtime.md).
     """
     import repro.obs.core as _obs
     from repro.fuzz.campaign import replay_case
@@ -92,7 +99,7 @@ def check_case(case: Any, certificates: Dict[str, Any]) -> Dict[str, Any]:
     with _obs.observing(
         _obs.Observer(events=log, trace=True, spans=False)
     ):
-        outcome = replay_case(case)
+        outcome = replay_case(case, scheduler=scheduler)
     problems = check_closedness(log.records)
     dags = build_dags(log.records)
     dynamic = "closed" if not problems else "open"

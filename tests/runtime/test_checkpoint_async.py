@@ -1,0 +1,189 @@
+"""Checkpointing mid-run executions under the async backend.
+
+Satellite of the scheduler work: a checkpoint taken after ``k`` rounds
+of an async execution must be *schedule-faithful* — resumable purely
+because schedules are prefix-stable (round ``r``'s delays come from
+``derive_rng(seed, "scheduler", salt, r)``, independent of how many
+rounds the execution ultimately runs).  Concretely:
+
+* the saved prefix of a partial async run equals the same rounds of
+  the full async run (and of the lockstep run — backend invariance);
+* save/load round-trips preserve everything the saved form carries;
+* a golden gate: a **fresh python process** re-running the identical
+  partial execution writes a byte-identical checkpoint file, so the
+  artifact is stable across process boundaries, not just within one
+  interpreter's object graph.
+"""
+
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.adversary import EquivocatingAdversary
+from repro.compact.byzantine_agreement import run_compact_byzantine_agreement
+from repro.runtime.checkpoint import load_result, save_result
+from repro.types import SystemConfig
+
+CONFIG = SystemConfig(n=7, t=2)
+SEED = 13
+SCHEDULER = "async:3:7"
+PARTIAL_ROUNDS = 3
+
+
+def _run(rounds=None, scheduler=SCHEDULER):
+    inputs = {p: p % 2 for p in CONFIG.process_ids}
+    kwargs = {}
+    return run_compact_byzantine_agreement(
+        CONFIG,
+        inputs,
+        value_alphabet=[0, 1],
+        k=2,
+        adversary=EquivocatingAdversary([4], 0, 1),
+        seed=SEED,
+        scheduler=scheduler,
+        **kwargs,
+    ) if rounds is None else _run_partial(rounds, scheduler)
+
+
+def _run_partial(rounds, scheduler):
+    from repro.compact.byzantine_agreement import (
+        compact_ba_factory,
+        compact_ba_rounds,
+    )
+    from repro.compact.payload import compact_sizer, payload_is_null
+    from repro.runtime.engine import run_protocol
+
+    inputs = {p: p % 2 for p in CONFIG.process_ids}
+    return run_protocol(
+        compact_ba_factory(CONFIG, [0, 1], default=0, k=2),
+        CONFIG,
+        inputs,
+        adversary=EquivocatingAdversary([4], 0, 1),
+        max_rounds=max(compact_ba_rounds(CONFIG.t, 2), rounds) + 1,
+        run_full_rounds=rounds,
+        sizer=compact_sizer(CONFIG, 2),
+        is_null=payload_is_null,
+        seed=SEED,
+        scheduler=scheduler,
+    )
+
+
+def test_partial_roundtrip_preserves_everything(tmp_path):
+    partial = _run_partial(PARTIAL_ROUNDS, SCHEDULER)
+    path = tmp_path / "partial.pkl"
+    save_result(partial, path)
+    restored = load_result(path)
+    assert restored.rounds == PARTIAL_ROUNDS
+    assert restored.decisions == partial.decisions
+    assert restored.decision_rounds == partial.decision_rounds
+    assert restored.metrics.total_bits == partial.metrics.total_bits
+    assert (
+        restored.metrics.bits_by_round() == partial.metrics.bits_by_round()
+    )
+
+
+def test_partial_async_run_is_a_prefix_of_the_full_run():
+    """Schedule faithfulness: stopping early and carrying on later must
+    traverse the same schedule — per-round meters of the partial run
+    coincide with the full run's first rounds."""
+    partial = _run_partial(PARTIAL_ROUNDS, SCHEDULER)
+    full = _run()
+    assert full.rounds > PARTIAL_ROUNDS
+    full_bits = dict(full.metrics.bits_by_round())
+    for round_number, bits in partial.metrics.bits_by_round():
+        assert full_bits[round_number] == bits
+    partial_decided = {
+        pid for pid, r in partial.decision_rounds.items()
+        if r is not None and r <= PARTIAL_ROUNDS
+    }
+    for pid in partial_decided:
+        assert full.decision_rounds[pid] == partial.decision_rounds[pid]
+        assert full.decisions[pid] == partial.decisions[pid]
+
+
+@pytest.mark.parametrize("scheduler", ("lockstep", "async", SCHEDULER))
+def test_partial_run_backend_invariant(scheduler, tmp_path):
+    """The checkpoint of round k is the same artifact whichever backend
+    wrote it (mid-round states are backend-invariant too, because every
+    completed round delivered the same closed message sets)."""
+    reference = _run_partial(PARTIAL_ROUNDS, "lockstep")
+    other = _run_partial(PARTIAL_ROUNDS, scheduler)
+    ref_path = tmp_path / "ref.pkl"
+    other_path = tmp_path / "other.pkl"
+    save_result(reference, ref_path)
+    save_result(other, other_path)
+    assert ref_path.read_bytes() == other_path.read_bytes()
+
+
+_GOLDEN_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.adversary import EquivocatingAdversary
+from repro.compact.byzantine_agreement import (
+    compact_ba_factory, compact_ba_rounds,
+)
+from repro.compact.payload import compact_sizer, payload_is_null
+from repro.runtime.checkpoint import save_result
+from repro.runtime.engine import run_protocol
+from repro.types import SystemConfig
+
+config = SystemConfig(n=7, t=2)
+inputs = {{p: p % 2 for p in config.process_ids}}
+result = run_protocol(
+    compact_ba_factory(config, [0, 1], default=0, k=2),
+    config,
+    inputs,
+    adversary=EquivocatingAdversary([4], 0, 1),
+    max_rounds=max(compact_ba_rounds(config.t, 2), {rounds}) + 1,
+    run_full_rounds={rounds},
+    sizer=compact_sizer(config, 2),
+    is_null=payload_is_null,
+    seed={seed},
+    scheduler={scheduler!r},
+)
+save_result(result, {path!r})
+"""
+
+
+def test_fresh_process_writes_byte_identical_checkpoint(tmp_path):
+    """Golden gate: two cold interpreters produce the same bytes, and
+    they match this process's artifact — the async schedule is a pure
+    function of the seed, with no per-process residue (hash
+    randomisation, id()-keyed caches) leaking into the saved form."""
+    import pathlib
+
+    src = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+    local_path = tmp_path / "local.pkl"
+    save_result(_run_partial(PARTIAL_ROUNDS, SCHEDULER), local_path)
+
+    fresh = []
+    for tag in ("a", "b"):
+        path = tmp_path / f"fresh-{tag}.pkl"
+        script = _GOLDEN_SCRIPT.format(
+            src=src,
+            rounds=PARTIAL_ROUNDS,
+            seed=SEED,
+            scheduler=SCHEDULER,
+            path=str(path),
+        )
+        subprocess.run(
+            [sys.executable, "-c", script], check=True, timeout=120
+        )
+        fresh.append(path.read_bytes())
+    assert fresh[0] == fresh[1]
+    assert fresh[0] == local_path.read_bytes()
+
+
+def test_loaded_checkpoint_round_trips_stably(tmp_path):
+    """pickle(load(save(x))) is a fixed point — repeated save/load
+    cycles cannot drift the artifact."""
+    path_one = tmp_path / "one.pkl"
+    path_two = tmp_path / "two.pkl"
+    save_result(_run_partial(PARTIAL_ROUNDS, SCHEDULER), path_one)
+    save_result(load_result(path_one), path_two)
+    assert pickle.dumps(load_result(path_one).metrics) == pickle.dumps(
+        load_result(path_two).metrics
+    )
+    assert load_result(path_one).decisions == load_result(path_two).decisions

@@ -1,0 +1,324 @@
+"""Scheduler-invariance conformance suite.
+
+The pluggable round engine's contract (docs/runtime.md): for any
+communication-closed protocol, every admissible schedule — lockstep or
+async, any delay bound, any schedule salt — produces the *identical*
+``ExecutionResult``.  This suite is that contract, executable:
+
+* every certified-canonical catalog protocol runs under lockstep and a
+  spread of async schedules, and the results must be pickle-identical
+  (checkpoint serialisation — the saved form minus unpicklable live
+  processes);
+* hypothesis quantifies over ``(seed, max_delay, salt)`` and asserts
+  the metamorphic invariants — decisions, ``total_bits``, rounds, and
+  oracle violation sets never move;
+* async deliver traces still satisfy the dynamic closedness checker;
+* and a deliberately NON-closed fixture (processes leaking state
+  through an out-of-band shared list) demonstrably *diverges* across
+  backends — the negative control proving the suite can tell backends
+  apart when, and only when, the protocol breaks the canonical form.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fuzz.campaign import replay_case
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.protocols import CATALOG_PROTOCOLS, get_spec
+from repro.runtime.engine import run_protocol
+from repro.runtime.node import Process, broadcast
+from repro.runtime.rng import derive_rng
+from repro.runtime.scheduler import (
+    SCHEDULER_ENV,
+    AsyncScheduler,
+    LockstepScheduler,
+    resolve_scheduler,
+)
+from repro.types import BOTTOM, SystemConfig
+
+N, T = 4, 1
+
+#: Async backend specs spread across the delay/salt axes.
+ASYNC_SPECS = ("async", "async:1", "async:5", "async:3:17", "async:7:101")
+
+
+def canonical_bytes(result):
+    """The checkpoint pickle of ``result``, topology-normalised.
+
+    Live processes hold closures (unpicklable) and are not part of the
+    cross-backend contract; a loads/dumps round trip normalises
+    object-sharing topology the same way the parallel executor's
+    portable path does.
+    """
+    stripped = dataclasses.replace(result, processes={})
+    return pickle.dumps(pickle.loads(pickle.dumps(stripped)))
+
+
+def catalog_case(protocol, seed, faulty=(1,)):
+    spec = get_spec(protocol)
+    config = SystemConfig(n=N, t=T)
+    inputs = spec.sample_inputs(config, derive_rng(seed, "inputs", protocol))
+    return FuzzCase.build(
+        protocol=protocol, n=N, t=T, seed=seed, inputs=inputs, faulty=faulty
+    )
+
+
+# -- catalog equivalence -----------------------------------------------------
+
+
+@pytest.mark.parametrize("protocol", CATALOG_PROTOCOLS)
+@pytest.mark.parametrize("backend", ASYNC_SPECS)
+def test_catalog_protocol_invariant_under_async(protocol, backend):
+    """Every catalog protocol: async result pickle-identical to lockstep."""
+    case = catalog_case(protocol, seed=2026)
+    reference = replay_case(case, scheduler="lockstep")
+    outcome = replay_case(case, scheduler=backend)
+    assert outcome.violations == reference.violations
+    assert canonical_bytes(outcome.result) == canonical_bytes(
+        reference.result
+    )
+
+
+@pytest.mark.parametrize("protocol", CATALOG_PROTOCOLS)
+def test_catalog_protocol_invariant_fault_free(protocol):
+    case = catalog_case(protocol, seed=7, faulty=())
+    reference = replay_case(case, scheduler="lockstep")
+    outcome = replay_case(case, scheduler="async:4:9")
+    assert canonical_bytes(outcome.result) == canonical_bytes(
+        reference.result
+    )
+
+
+# -- metamorphic properties (hypothesis) -------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    max_delay=st.integers(min_value=0, max_value=6),
+    salt=st.integers(min_value=0, max_value=2**10),
+    protocol=st.sampled_from(("avalanche", "compact-ba")),
+)
+def test_schedule_permutations_leave_results_unchanged(
+    seed, max_delay, salt, protocol
+):
+    """Any (delay bound, salt) pair is an admissible-schedule identity."""
+    case = catalog_case(protocol, seed=seed)
+    reference = replay_case(case, scheduler="lockstep")
+    outcome = replay_case(case, scheduler=f"async:{max_delay}:{salt}")
+    assert outcome.result.decisions == reference.result.decisions
+    assert outcome.result.rounds == reference.result.rounds
+    assert (
+        outcome.result.metrics.total_bits
+        == reference.result.metrics.total_bits
+    )
+    assert outcome.violations == reference.violations
+    assert canonical_bytes(outcome.result) == canonical_bytes(
+        reference.result
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    salt_a=st.integers(min_value=0, max_value=2**10),
+    salt_b=st.integers(min_value=0, max_value=2**10),
+)
+def test_two_async_schedules_agree_with_each_other(seed, salt_a, salt_b):
+    """Backend invariance is transitive: any two async schedules agree."""
+    case = catalog_case("eig", seed=seed)
+    a = replay_case(case, scheduler=f"async:3:{salt_a}")
+    b = replay_case(case, scheduler=f"async:5:{salt_b}")
+    assert canonical_bytes(a.result) == canonical_bytes(b.result)
+
+
+# -- async traces stay closed ------------------------------------------------
+
+
+@pytest.mark.parametrize("protocol", ("avalanche", "compact-ba", "eig"))
+def test_async_deliver_traces_pass_closedness(protocol):
+    """Round skew reorders deliveries, never leaks them across rounds."""
+    import repro.obs.core as _obs
+    from repro.obs.events import EventLog
+    from repro.obs.trace import check_closedness
+
+    case = catalog_case(protocol, seed=31)
+    log = EventLog()
+    with _obs.observing(_obs.Observer(events=log, trace=True, spans=False)):
+        replay_case(case, scheduler="async:4:2")
+    deliver_records = [
+        record for record in log.records if record.get("kind") == "deliver"
+    ]
+    assert deliver_records, "tracing observer recorded no deliver edges"
+    assert check_closedness(log.records) == []
+
+
+def test_async_actually_reorders_state_changes():
+    """The diagnostic counter proves schedules are genuinely permuted.
+
+    Equivalence tests would pass vacuously if the async backend
+    secretly ran in lockstep order; this pins that it does not.
+    """
+    scheduler = AsyncScheduler(max_delay=3, salt=0)
+    spec = get_spec("avalanche")
+    config = SystemConfig(n=N, t=T)
+    inputs = spec.sample_inputs(config, derive_rng(11, "inputs"))
+    run_protocol(
+        spec.build(config),
+        config,
+        inputs,
+        max_rounds=spec.max_rounds(config),
+        run_full_rounds=spec.default_rounds(config),
+        seed=11,
+        scheduler=scheduler,
+    )
+    assert scheduler.reordered_state_changes > 0
+    assert scheduler.delays_sampled > 0
+
+
+# -- the negative control ----------------------------------------------------
+
+
+class _OrderLeakProcess(Process):
+    """A deliberately NON-communication-closed processor.
+
+    Correct processes share one mutable list (an out-of-band channel —
+    exactly what the canonical form forbids) and decide on the order
+    their state changes happen to run in.  Lockstep runs receivers in
+    processor-id order; the async backend runs them in
+    delivery-completion order, so the decision is backend-visible.
+    """
+
+    __slots__ = ("shared",)
+
+    def __init__(self, process_id, config, shared):
+        super().__init__(process_id, config)
+        self.shared = shared
+
+    def outgoing(self, round_number):
+        return broadcast(("ping", self.process_id), self.config)
+
+    def receive(self, round_number, incoming):
+        self.shared.append(self.process_id)
+        self.decide(tuple(self.shared), round_number)
+
+
+def _order_leak_factory():
+    shared = []
+
+    def factory(process_id, config, value):
+        return _OrderLeakProcess(process_id, config, shared)
+
+    return factory
+
+
+def _run_order_leak(scheduler):
+    config = SystemConfig(n=4, t=0)
+    inputs = {process_id: 0 for process_id in config.process_ids}
+    return run_protocol(
+        _order_leak_factory(), config, inputs, seed=11, scheduler=scheduler
+    )
+
+
+def test_non_closed_fixture_diverges_across_backends():
+    """Negative control: backends ARE distinguishable — by exactly the
+    protocols the canonical form rules out."""
+    reference = _run_order_leak("lockstep")
+    assert reference.decisions == {
+        1: (1,), 2: (1, 2), 3: (1, 2, 3), 4: (1, 2, 3, 4),
+    }
+    diverged = _run_order_leak("async:3:0")
+    assert diverged.decisions != reference.decisions
+
+
+@pytest.mark.parametrize("salt", range(4))
+def test_non_closed_fixture_diverges_for_every_salt(salt):
+    reference = _run_order_leak("lockstep")
+    assert _run_order_leak(f"async:3:{salt}").decisions != reference.decisions
+
+
+def test_zero_delay_async_degenerates_to_lockstep_order():
+    """With max_delay=0 every event carries delay 0 and the stable heap
+    order (sender-major, receiver ascending) makes receivers complete
+    in processor-id order — even the leaky fixture cannot tell."""
+    reference = _run_order_leak("lockstep")
+    degenerate = _run_order_leak("async:0")
+    assert degenerate.decisions == reference.decisions
+
+
+# -- backend selection -------------------------------------------------------
+
+
+def test_resolve_scheduler_names():
+    assert isinstance(resolve_scheduler("lockstep"), LockstepScheduler)
+    assert isinstance(resolve_scheduler("sync"), LockstepScheduler)
+    backend = resolve_scheduler("async")
+    assert isinstance(backend, AsyncScheduler)
+    parsed = resolve_scheduler("async:5:17")
+    assert (parsed.max_delay, parsed.salt) == (5, 17)
+    assert resolve_scheduler("async:2").salt == 0
+    instance = AsyncScheduler(max_delay=1)
+    assert resolve_scheduler(instance) is instance
+
+
+@pytest.mark.parametrize(
+    "bogus", ("", "asink", "async:", "async:x", "async:1:2:3", "async:-")
+)
+def test_resolve_scheduler_rejects_malformed_specs(bogus):
+    with pytest.raises(ConfigurationError):
+        resolve_scheduler(bogus)
+
+
+def test_resolve_scheduler_honours_environment(monkeypatch):
+    monkeypatch.setenv(SCHEDULER_ENV, "async:2:9")
+    backend = resolve_scheduler(None)
+    assert isinstance(backend, AsyncScheduler)
+    assert (backend.max_delay, backend.salt) == (2, 9)
+    monkeypatch.delenv(SCHEDULER_ENV)
+    assert isinstance(resolve_scheduler(None), LockstepScheduler)
+
+
+def test_environment_backend_is_equivalent_end_to_end(monkeypatch):
+    """REPRO_SCHEDULER=async (the CI leg) changes nothing observable."""
+    case = catalog_case("compact-ba", seed=2)
+    reference = replay_case(case, scheduler="lockstep")
+    monkeypatch.setenv(SCHEDULER_ENV, "async:3:5")
+    ambient = replay_case(case)
+    assert canonical_bytes(ambient.result) == canonical_bytes(
+        reference.result
+    )
+
+
+def test_scheduler_rejects_rebinding_to_a_second_network():
+    """Schedulers carry per-execution state; reuse is a hard error."""
+    scheduler = AsyncScheduler()
+    config = SystemConfig(n=4, t=0)
+    inputs = {process_id: 0 for process_id in config.process_ids}
+    run_protocol(
+        _order_leak_factory(), config, inputs, seed=0, scheduler=scheduler
+    )
+    with pytest.raises(ConfigurationError):
+        run_protocol(
+            _order_leak_factory(), config, inputs, seed=0, scheduler=scheduler
+        )
+
+
+def test_async_rejects_negative_delay_bound():
+    with pytest.raises(ConfigurationError):
+        AsyncScheduler(max_delay=-1)
+
+
+def test_results_carry_no_backend_field():
+    """ExecutionResult must stay backend-anonymous: cross-backend pickle
+    identity is the acceptance gate, so the result cannot record which
+    scheduler produced it."""
+    field_names = {
+        field.name for field in dataclasses.fields(_run_order_leak(None))
+    }
+    assert "scheduler" not in field_names
+    assert BOTTOM not in field_names  # guard the guard: set is non-trivial

@@ -1,0 +1,176 @@
+"""Silent senders: correct-but-quiet and crash-faulted processors.
+
+The round loop prefills every receiver's incoming row with
+:data:`BOTTOM` (one slot per processor id), so a sender that sends
+*nothing* in a round — a correct processor whose ``outgoing`` is empty,
+or a crashed processor — must surface as detectable BOTTOM entries, a
+complete ``n``-entry row, under **both** scheduler backends.  The async
+backend counts BOTTOM arrivals toward round recovery (an omission is a
+detectable event in the synchronous reduction), so silence must never
+stall round advancement either.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.adversary.crash import CrashAdversary
+from repro.avalanche.protocol import avalanche_factory
+from repro.runtime.engine import run_protocol
+from repro.runtime.node import Process, broadcast
+from repro.types import BOTTOM, SystemConfig, is_bottom
+
+BACKENDS = ("lockstep", "async", "async:5:3")
+
+
+class _SometimesSilent(Process):
+    """Broadcasts in odd rounds, stays completely silent in even ones,
+    and records every incoming row for inspection."""
+
+    __slots__ = ("seen",)
+
+    def __init__(self, process_id, config):
+        super().__init__(process_id, config)
+        self.seen = []
+
+    def outgoing(self, round_number):
+        if round_number % 2 == 1:
+            return broadcast(("beat", round_number), self.config)
+        return {}
+
+    def receive(self, round_number, incoming):
+        self.seen.append((round_number, dict(incoming)))
+
+    def snapshot(self):
+        return {"decision": self.decision, "rows": len(self.seen)}
+
+
+def _run_silent(scheduler, config=None):
+    config = config or SystemConfig(n=4, t=0)
+    inputs = {process_id: 0 for process_id in config.process_ids}
+    return run_protocol(
+        lambda pid, cfg, value: _SometimesSilent(pid, cfg),
+        config,
+        inputs,
+        run_full_rounds=4,
+        seed=3,
+        scheduler=scheduler,
+    )
+
+
+@pytest.mark.parametrize("scheduler", BACKENDS)
+def test_silent_round_delivers_full_bottom_rows(scheduler):
+    result = _run_silent(scheduler)
+    config = result.config
+    for process in result.processes.values():
+        assert [row[0] for row in process.seen] == [1, 2, 3, 4]
+        for round_number, row in process.seen:
+            # The prefilled row: every processor id present, in order.
+            assert list(row) == list(config.process_ids)
+            if round_number % 2 == 1:
+                assert all(
+                    row[sender] == ("beat", round_number)
+                    for sender in config.process_ids
+                )
+            else:
+                assert all(is_bottom(row[sender]) for sender in row)
+
+
+def test_silent_rounds_identical_across_backends():
+    rows = {
+        scheduler: [
+            (pid, process.seen)
+            for pid, process in sorted(_run_silent(scheduler).processes.items())
+        ]
+        for scheduler in BACKENDS
+    }
+    assert rows["lockstep"] == rows["async"] == rows["async:5:3"]
+
+
+def test_silent_rounds_cost_zero_bits():
+    """An all-silent round creates no metric rows at all (the lazily
+    bound recorder), under every backend."""
+    for scheduler in BACKENDS:
+        metrics = _run_silent(scheduler).metrics
+        for silent_round in (2, 4):
+            usage = metrics.round_usage(silent_round)
+            assert (usage.messages, usage.bits) == (0, 0)
+        assert metrics.total_non_null_messages == 2 * 16  # rounds 1 and 3
+        assert metrics.total_bits > 0  # the beats themselves were metered
+
+
+@pytest.mark.parametrize("scheduler", BACKENDS)
+def test_crash_faulted_sender_goes_bottom(scheduler):
+    """A crashed processor's post-crash silence arrives as BOTTOM and
+    the execution still terminates and decides — on every backend."""
+    config = SystemConfig(n=7, t=2)
+    inputs = {pid: pid % 2 for pid in config.process_ids}
+    factory = avalanche_factory()
+    result = run_protocol(
+        factory,
+        config,
+        inputs,
+        adversary=CrashAdversary({1: 2, 2: 1}, factory, cut_fraction=0.5),
+        run_full_rounds=6,
+        seed=5,
+        scheduler=scheduler,
+    )
+    assert result.rounds == 6
+    assert result.faulty_ids == frozenset({1, 2})
+
+
+def test_crash_execution_identical_across_backends():
+    config = SystemConfig(n=7, t=2)
+    inputs = {pid: pid % 2 for pid in config.process_ids}
+
+    def run(scheduler):
+        factory = avalanche_factory()
+        result = run_protocol(
+            factory,
+            config,
+            inputs,
+            adversary=CrashAdversary({1: 2, 2: 1}, factory, cut_fraction=0.5),
+            run_full_rounds=6,
+            seed=5,
+            scheduler=scheduler,
+        )
+        return pickle.dumps(dataclasses.replace(result, processes={}))
+
+    reference = run("lockstep")
+    assert run("async") == reference
+    assert run("async:6:11") == reference
+
+
+def test_bottom_broadcast_equals_empty_outgoing():
+    """Explicitly broadcasting BOTTOM and sending nothing are the same
+    execution — the fast path may not distinguish them."""
+
+    class ExplicitBottom(_SometimesSilent):
+        __slots__ = ()
+
+        def outgoing(self, round_number):
+            if round_number % 2 == 1:
+                return broadcast(("beat", round_number), self.config)
+            return broadcast(BOTTOM, self.config)
+
+    config = SystemConfig(n=4, t=0)
+    inputs = {pid: 0 for pid in config.process_ids}
+    for scheduler in BACKENDS:
+        implicit = _run_silent(scheduler, config)
+        explicit = run_protocol(
+            lambda pid, cfg, value: ExplicitBottom(pid, cfg),
+            config,
+            inputs,
+            run_full_rounds=4,
+            seed=3,
+            scheduler=scheduler,
+        )
+        assert [
+            process.seen for _, process in sorted(implicit.processes.items())
+        ] == [
+            process.seen for _, process in sorted(explicit.processes.items())
+        ]
+        assert pickle.dumps(implicit.metrics) == pickle.dumps(
+            explicit.metrics
+        )
